@@ -1,0 +1,59 @@
+// Ablation A2 (sec. 4.2): bitcell area scaling with port count, including
+// the rejected 5+ port designs (each costs another 87.5 % of the 6T area and
+// its access energy keeps climbing), plus the array-size validity limit
+// imposed by the NBL write assist.
+#include "bench_common.hpp"
+#include "esam/sram/timing.hpp"
+#include "esam/tech/calibration.hpp"
+#include "esam/tech/write_assist.hpp"
+
+using namespace esam;
+
+int main() {
+  bench::print_setup_header("Ablation: bitcell area / port-count scaling");
+
+  const auto& t = tech::imec3nm();
+
+  util::Table table("Cell area and access cost vs decoupled read ports "
+                    "(128x128, Vprech = 500 mV)");
+  table.header({"ports", "area mult", "cell [um^2]", "transistors",
+                "avg access time [ps]", "avg access energy [fJ]",
+                "array leakage [uW]"});
+  for (std::size_t ports = 0; ports <= 6; ++ports) {
+    const sram::BitcellSpec spec = sram::BitcellSpec::hypothetical(ports);
+    const sram::SramTimingModel m(t, spec, {}, t.vprech_nominal);
+    table.row({util::fmt("%zu%s", ports, ports > 4 ? " (rejected)" : ""),
+               util::fmt("%.3fx", spec.area_multiplier),
+               util::fmt("%.5f", spec.area_um2()),
+               util::fmt("%zu", spec.transistor_count),
+               util::fmt("%.0f", util::in_picoseconds(
+                                     m.average_access_time_full_utilization())),
+               util::fmt("%.1f", util::in_femtojoules(
+                                     m.average_access_energy_full_utilization())),
+               util::fmt("%.1f", util::in_microwatts(m.leakage()))});
+  }
+  table.note("paper: only 4 bitlines match the 4-port cell pitch; a 5th port "
+             "widens the cell by another 87.5% of the 6T area");
+  table.note("energy per op starts climbing at the 4th port and keeps rising "
+             "-- with the area cost, 5+ ports are not worthwhile");
+  table.print();
+  std::printf("\n");
+
+  util::Table assist("NBL write-assist: required VWD and array validity");
+  assist.header({"rows", "6T", "1RW+1R", "1RW+2R", "1RW+3R", "1RW+4R"});
+  const tech::WriteAssistModel assist_model(t);
+  for (std::size_t rows : {32u, 64u, 128u, 256u}) {
+    std::vector<std::string> row{util::fmt("%zu", rows)};
+    for (std::size_t ports = 0; ports <= 4; ++ports) {
+      const auto res = assist_model.evaluate(rows, ports);
+      row.push_back(util::fmt("%.0f mV%s",
+                              util::in_millivolts(res.required_vwd),
+                              res.yielding ? "" : " (fail)"));
+    }
+    assist.row(std::move(row));
+  }
+  assist.note("a design needing VWD < -400 mV is non-yielding (ref [19]): "
+              "arrays are limited to <= 128 rows/columns for all cells");
+  assist.print();
+  return 0;
+}

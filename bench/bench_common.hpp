@@ -1,0 +1,33 @@
+// Shared plumbing for the benchmark harnesses that regenerate the paper's
+// tables and figures. Each binary prints the experimental-setup header
+// (Table 1) followed by its own table(s), with the paper's reported values
+// alongside the model's measurements wherever the paper states a number.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "esam/tech/technology.hpp"
+#include "esam/util/table.hpp"
+
+namespace esam::bench {
+
+/// Prints the Table 1 context every experiment shares.
+inline void print_setup_header(const std::string& experiment) {
+  const auto& t = tech::imec3nm();
+  std::printf("ESAM reproduction -- %s\n", experiment.c_str());
+  std::printf(
+      "setup: %s, VDD = %.0f mV, Vprech = %.0f mV (single-ended ports), "
+      "128x128 arrays, worst-case cell, analytic circuit model calibrated to "
+      "the paper's anchors (see DESIGN.md)\n\n",
+      t.name, util::in_millivolts(t.vdd),
+      util::in_millivolts(t.vprech_nominal));
+}
+
+/// "x.xx (paper: y.yy)" cell helper.
+inline std::string with_paper(double measured, double paper,
+                              const char* fmt = "%.2f") {
+  return util::fmt(fmt, measured) + " (paper: " + util::fmt(fmt, paper) + ")";
+}
+
+}  // namespace esam::bench

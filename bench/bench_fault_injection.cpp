@@ -1,0 +1,85 @@
+// Extension bench: yield / robustness study. Sweeps the bitcell defect
+// density, injects stuck-at faults into every SRAM array of the full MNIST
+// system, and measures the classification-accuracy degradation -- the
+// question the paper's worst-case (-400 mV NBL) yield rule protects against.
+#include "bench_common.hpp"
+#include "esam/core/esam.hpp"
+#include "esam/sram/faults.hpp"
+
+using namespace esam;
+
+namespace {
+
+void inject(arch::SystemSimulator& sim, double rate, util::Rng& rng) {
+  for (std::size_t t = 0; t < sim.tile_count(); ++t) {
+    arch::Tile& tile = sim.tile(t);
+    for (std::size_t rg = 0; rg < tile.row_groups(); ++rg) {
+      for (std::size_t cg = 0; cg < tile.col_groups(); ++cg) {
+        auto& macro = tile.macro(rg, cg);
+        macro.apply_faults(sram::sample_fault_map(
+            macro.geometry().rows, macro.geometry().cols, rate, rng));
+      }
+    }
+  }
+}
+
+std::size_t total_faults(arch::SystemSimulator& sim) {
+  std::size_t n = 0;
+  for (std::size_t t = 0; t < sim.tile_count(); ++t) {
+    arch::Tile& tile = sim.tile(t);
+    for (std::size_t rg = 0; rg < tile.row_groups(); ++rg) {
+      for (std::size_t cg = 0; cg < tile.col_groups(); ++cg) {
+        n += tile.macro(rg, cg).fault_count();
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_setup_header(
+      "Extension: stuck-at fault injection vs classification accuracy");
+
+  const std::size_t inferences =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 400;
+
+  core::ModelConfig mc;
+  mc.verbose = true;
+  const core::TrainedModel model = core::TrainedModel::create(mc);
+  std::printf("fault-free BNN test accuracy: %.2f%%\n\n",
+              100.0 * model.bnn_test_accuracy);
+
+  std::vector<util::BitVec> inputs(model.data.test.spikes.begin(),
+                                   model.data.test.spikes.begin() +
+                                       static_cast<std::ptrdiff_t>(inferences));
+  std::vector<std::uint8_t> labels(model.data.test.labels.begin(),
+                                   model.data.test.labels.begin() +
+                                       static_cast<std::ptrdiff_t>(inferences));
+
+  util::Table table("Accuracy vs bitcell defect density (1RW+4R system, "
+                    "binary weights)");
+  table.header({"defect rate", "faulty cells (of 330K)", "accuracy [%]",
+                "accuracy drop [pp]"});
+
+  double base_accuracy = 0.0;
+  util::Rng rng(20240610);
+  for (double rate : {0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1}) {
+    arch::SystemSimulator sim(tech::imec3nm(), model.snn, {});
+    inject(sim, rate, rng);
+    const arch::RunResult r = sim.run(inputs, &labels);
+    if (rate == 0.0) base_accuracy = r.accuracy;
+    table.row({util::fmt("%.4f%%", 100.0 * rate),
+               util::fmt("%zu", total_faults(sim)),
+               util::fmt("%.2f", 100.0 * r.accuracy),
+               util::fmt("%.2f", 100.0 * (base_accuracy - r.accuracy))});
+  }
+  table.note("binary synapses are remarkably fault-tolerant: each stuck cell "
+             "perturbs one +-1 contribution; accuracy falls gracefully until "
+             "defects reach the percent range");
+  table.note("the paper's NBL rule (arrays <= 128 rows/cols) exists to keep "
+             "cells out of the write-failure regime this table explores");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates Figure 6: Write and Read energies and timings via the
+// Transposed (RW) port for the five SRAM cell variants.
+//
+// The paper states the figure's qualitative content (scaling with ports, the
+// jump at the first added port) and pins the endpoints through sec. 4.4.1:
+// the 6T pair energy (157 pJ / 128 read+write pairs) and the 1RW+4R
+// per-access times (9.9 ns / 4 and 8.04 ns / 4). Interior values follow the
+// calibrated RC model.
+#include "bench_common.hpp"
+#include "esam/sram/timing.hpp"
+
+using namespace esam;
+
+int main() {
+  bench::print_setup_header(
+      "Figure 6: transposed-port read/write cost per cell");
+
+  const auto& t = tech::imec3nm();
+  util::Table table("Fig. 6 -- RW (transposed) port, 128x128 array");
+  table.header({"cell", "write time [ns]", "read time [ns]",
+                "write energy [pJ]", "read energy [pJ]", "bits/access",
+                "required VWD [mV]"});
+
+  for (sram::CellKind kind : sram::kAllCellKinds) {
+    const sram::SramTimingModel m(t, sram::BitcellSpec::of(kind), {},
+                                  t.vprech_nominal);
+    const auto wr = m.rw_write_access();
+    const auto rd = m.rw_read_access();
+    table.row({std::string(sram::to_string(kind)),
+               util::fmt("%.3f", util::in_nanoseconds(wr.time)),
+               util::fmt("%.3f", util::in_nanoseconds(rd.time)),
+               util::fmt("%.3f", util::in_picojoules(wr.energy)),
+               util::fmt("%.3f", util::in_picojoules(rd.energy)),
+               util::fmt("%zu", m.rw_access_bits()),
+               util::fmt("%.0f", util::in_millivolts(m.required_vwd()))});
+  }
+  table.note("paper anchors: 6T read+write pair = 157 pJ / 128 pairs "
+             "= 1.227 pJ; 1RW+4R read 9.9/4 = 2.475 ns, write 8.04/4 = 2.01 ns");
+  table.note("6T accesses a full 128-bit row through its row-wise port; the "
+             "multiport cells access 32 bits via the 4:1-muxed transposed port");
+  table.note("both write and read cost scale with added ports; the first "
+             "added port causes the immediate jump (narrower transposed WL)");
+  table.print();
+  return 0;
+}

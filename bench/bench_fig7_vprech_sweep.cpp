@@ -1,0 +1,91 @@
+// Regenerates Figure 7: average access energy and time per port count for
+// different precharge voltages (full port utilization, 128x128 arrays),
+// plus the A3 corollary table (the 500 mV selection rule and the 400 mV
+// crossover).
+#include "bench_common.hpp"
+#include "esam/sram/timing.hpp"
+
+using namespace esam;
+
+namespace {
+
+sram::SramTimingModel model_for(std::size_t ports, double vprech_mv) {
+  return sram::SramTimingModel(tech::imec3nm(),
+                               sram::BitcellSpec::of(sram::kAllCellKinds[ports]),
+                               {}, util::millivolts(vprech_mv));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_setup_header(
+      "Figure 7: access energy/time vs Vprech and port count");
+
+  const double voltages[] = {400.0, 500.0, 600.0, 700.0};
+
+  util::Table time_table(
+      "Fig. 7a -- average access time per op [ps] (precharge + read, / ports)");
+  time_table.header({"Vprech [mV]", "1 port", "2 ports", "3 ports", "4 ports"});
+  for (double v : voltages) {
+    std::vector<std::string> row{util::fmt("%.0f", v)};
+    for (std::size_t p = 1; p <= 4; ++p) {
+      const auto m = model_for(p, v);
+      std::string cell = util::fmt(
+          "%.0f", util::in_picoseconds(m.average_access_time_full_utilization()));
+      if (m.precharge_stalled()) cell += " *";
+      row.push_back(std::move(cell));
+    }
+    time_table.row(std::move(row));
+  }
+  time_table.note("* precharge no longer settles in the half-cycle window; the "
+                  "access stalls one extra cycle ('much slower precharging')");
+  time_table.print();
+  std::printf("\n");
+
+  util::Table energy_table(
+      "Fig. 7b -- average access energy per op [fJ] (full port utilization)");
+  energy_table.header(
+      {"Vprech [mV]", "1 port", "2 ports", "3 ports", "4 ports"});
+  for (double v : voltages) {
+    std::vector<std::string> row{util::fmt("%.0f", v)};
+    for (std::size_t p = 1; p <= 4; ++p) {
+      const auto m = model_for(p, v);
+      row.push_back(util::fmt(
+          "%.1f",
+          util::in_femtojoules(m.average_access_energy_full_utilization())));
+    }
+    energy_table.row(std::move(row));
+  }
+  energy_table.print();
+  std::printf("\n");
+
+  util::Table rules("Fig. 7 corollary -- the paper's Vprech selection rules");
+  rules.header({"claim", "1 port", "2 ports", "3 ports", "4 ports"});
+  {
+    std::vector<std::string> saving{"500 vs 700 mV energy saving (paper: >=43%)"};
+    std::vector<std::string> penalty{"500 vs 700 mV time penalty (paper: <=19%)"};
+    std::vector<std::string> extra{"400 vs 500 mV energy delta (paper: 1-2p save "
+                                   "up to 10% more; 3-4p increase)"};
+    for (std::size_t p = 1; p <= 4; ++p) {
+      const double e400 = util::in_femtojoules(
+          model_for(p, 400).average_access_energy_full_utilization());
+      const double e500 = util::in_femtojoules(
+          model_for(p, 500).average_access_energy_full_utilization());
+      const double e700 = util::in_femtojoules(
+          model_for(p, 700).average_access_energy_full_utilization());
+      const double t500 =
+          util::in_picoseconds(model_for(p, 500).inference_access_time());
+      const double t700 =
+          util::in_picoseconds(model_for(p, 700).inference_access_time());
+      saving.push_back(util::fmt("%.1f%%", 100.0 * (1.0 - e500 / e700)));
+      penalty.push_back(util::fmt("+%.1f%%", 100.0 * (t500 / t700 - 1.0)));
+      extra.push_back(util::fmt("%+.1f%%", 100.0 * (e400 / e500 - 1.0)));
+    }
+    rules.row(std::move(saving));
+    rules.row(std::move(penalty));
+    rules.row(std::move(extra));
+  }
+  rules.note("selected operating point: Vprech = 500 mV (Table 1)");
+  rules.print();
+  return 0;
+}

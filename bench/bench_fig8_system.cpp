@@ -1,0 +1,72 @@
+// Regenerates Figure 8: system-level power, throughput, energy/inference and
+// area for all five SRAM cell options, running the full MNIST-class
+// 768:256:256:256:10 Binary-SNN through the cycle-accurate pipeline.
+//
+// The BNN is trained once (cached in ./esam_bnn_cache.bin) and shared by all
+// five hardware configurations -- exactly the paper's methodology.
+#include "bench_common.hpp"
+#include "esam/core/esam.hpp"
+#include "esam/tech/calibration.hpp"
+
+using namespace esam;
+
+int main(int argc, char** argv) {
+  bench::print_setup_header("Figure 8: system-level comparison of cell options");
+
+  const std::size_t inferences =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500;
+
+  core::ModelConfig mc;
+  mc.verbose = true;
+  const core::TrainedModel model = core::TrainedModel::create(mc);
+  std::printf("dataset: %s (%zu train / %zu test, %.1f%% input spike density)\n",
+              model.data.train.source.c_str(), model.data.train.size(),
+              model.data.test.size(), 100.0 * model.data.test.spike_density());
+  std::printf("BNN accuracy: train %.2f%%, test %.2f%% (paper: 97.64%% on MNIST)\n\n",
+              100.0 * model.bnn_train_accuracy, 100.0 * model.bnn_test_accuracy);
+
+  util::Table table("Fig. 8 -- system level, 768:256:256:256:10 Binary-SNN");
+  table.header({"cell", "clock [MHz]", "throughput [MInf/s]",
+                "energy [pJ/Inf]", "power [mW]", "area [um^2]",
+                "accuracy [%]", "cycles/Inf"});
+
+  double thr_1rw = 0.0, e_1rw = 0.0, area_1rw = 0.0;
+  double thr_4r = 0.0, e_4r = 0.0, area_4r = 0.0;
+  for (sram::CellKind kind : sram::kAllCellKinds) {
+    arch::SystemConfig hw;
+    hw.cell = kind;
+    core::EsamSystem system(model, hw);
+    const core::SystemReport r = system.evaluate(inferences);
+    table.row({r.cell, util::fmt("%.0f", r.clock_mhz),
+               util::fmt("%.1f", r.throughput_minf_per_s),
+               util::fmt("%.0f", r.energy_per_inf_pj),
+               util::fmt("%.1f", r.power_mw), util::fmt("%.0f", r.area_um2),
+               util::fmt("%.2f", 100.0 * r.accuracy),
+               util::fmt("%.1f", r.avg_cycles_per_inf)});
+    if (kind == sram::CellKind::k1RW) {
+      thr_1rw = r.throughput_minf_per_s;
+      e_1rw = r.energy_per_inf_pj;
+      area_1rw = r.area_um2;
+    }
+    if (kind == sram::CellKind::k1RW4R) {
+      thr_4r = r.throughput_minf_per_s;
+      e_4r = r.energy_per_inf_pj;
+      area_4r = r.area_um2;
+    }
+  }
+  namespace calib = tech::calib;
+  table.note(util::fmt(
+      "1RW+4R vs 1RW: speed %.2fx (paper %.1fx), energy %.2fx (paper %.1fx), "
+      "area %.2fx (paper %.1fx)",
+      thr_4r / thr_1rw, calib::kArraySpeedup, e_1rw / e_4r,
+      calib::kArrayEnergyGain, area_4r / area_1rw,
+      calib::kSystemAreaRatio4RvsBaseline));
+  table.note(util::fmt(
+      "paper 1RW+4R system: %.0f MInf/s at %.0f pJ/Inf and %.0f mW",
+      calib::kSystemThroughputMInfPerS, calib::kSystemEnergyPerInfPj,
+      calib::kSystemPowerMw));
+  table.note("1RW -> 1RW+1R throughput dips slightly (same parallelism, "
+             "slower reads); 2+ ports overtake it");
+  table.print();
+  return 0;
+}

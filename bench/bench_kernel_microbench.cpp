@@ -1,0 +1,116 @@
+// K1: google-benchmark microbenchmarks of the simulator kernels -- arbiter
+// grant loops, SRAM row reads, tile cycles and full-pipeline inference.
+// These measure the *reproduction's* software performance (how fast the
+// simulator itself runs), not the modelled hardware.
+#include <benchmark/benchmark.h>
+
+#include "esam/arch/system.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/rng.hpp"
+
+namespace {
+
+using namespace esam;
+
+void BM_PriorityEncoder(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  arbiter::PriorityEncoder pe(width);
+  util::Rng rng(1);
+  util::BitVec req(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    if (rng.bernoulli(0.2)) req.set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.encode(req));
+  }
+}
+BENCHMARK(BM_PriorityEncoder)->Arg(128)->Arg(256)->Arg(1024);
+
+void BM_ArbiterDrain(benchmark::State& state) {
+  const auto ports = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  util::BitVec req(128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    if (rng.bernoulli(0.3)) req.set(i);
+  }
+  arbiter::MultiPortArbiter arb(128, ports);
+  for (auto _ : state) {
+    arb.reset();
+    arb.request(req);
+    while (!arb.r_empty()) {
+      benchmark::DoNotOptimize(arb.arbitrate());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(req.count()));
+}
+BENCHMARK(BM_ArbiterDrain)->Arg(1)->Arg(4);
+
+void BM_SramRowRead(benchmark::State& state) {
+  sram::SramMacro macro(tech::imec3nm(),
+                        sram::BitcellSpec::of(sram::CellKind::k1RW4R), {},
+                        util::millivolts(500.0));
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(macro.read_row(row % 4, row % 128));
+    ++row;
+  }
+}
+BENCHMARK(BM_SramRowRead);
+
+void BM_SramColumnUpdate(benchmark::State& state) {
+  sram::SramMacro macro(tech::imec3nm(),
+                        sram::BitcellSpec::of(sram::CellKind::k1RW4R), {},
+                        util::millivolts(500.0));
+  util::BitVec col(128);
+  for (std::size_t i = 0; i < 128; i += 3) col.set(i);
+  std::size_t c = 0;
+  for (auto _ : state) {
+    macro.write_column(c % 128, col);
+    benchmark::DoNotOptimize(macro.read_column(c % 128));
+    ++c;
+  }
+}
+BENCHMARK(BM_SramColumnUpdate);
+
+nn::SnnNetwork make_paper_snn() {
+  util::Rng rng(3);
+  nn::BnnNetwork bnn({768, 256, 256, 256, 10}, rng);
+  return nn::SnnNetwork::from_bnn(bnn);
+}
+
+void BM_PipelinedInference(benchmark::State& state) {
+  const nn::SnnNetwork snn = make_paper_snn();
+  arch::SystemSimulator sim(tech::imec3nm(), snn, {});
+  util::Rng rng(4);
+  std::vector<util::BitVec> inputs;
+  for (int i = 0; i < 16; ++i) {
+    util::BitVec v(768);
+    for (std::size_t k = 0; k < 768; ++k) {
+      if (rng.bernoulli(0.19)) v.set(k);
+    }
+    inputs.push_back(std::move(v));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(inputs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_PipelinedInference)->Unit(benchmark::kMillisecond);
+
+void BM_SoftwareSnnPredict(benchmark::State& state) {
+  const nn::SnnNetwork snn = make_paper_snn();
+  util::Rng rng(5);
+  util::BitVec input(768);
+  for (std::size_t k = 0; k < 768; ++k) {
+    if (rng.bernoulli(0.19)) input.set(k);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snn.predict(input));
+  }
+}
+BENCHMARK(BM_SoftwareSnnPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Regenerates the sec. 4.4.1 online-learning comparison: the cost of
+// updating one column of synaptic weights (one post-synaptic neuron) via the
+// transposable multiport cells versus the row-sweeping 6T baseline -- the
+// 26.0x (read) / 19.5x (write) headline -- plus an end-to-end STDP run
+// through the functional macros.
+#include "bench_common.hpp"
+#include "esam/learning/online_learner.hpp"
+#include "esam/sram/macro.hpp"
+#include "esam/tech/calibration.hpp"
+#include "esam/util/rng.hpp"
+
+using namespace esam;
+
+int main() {
+  bench::print_setup_header("Section 4.4.1: online-learning column updates");
+
+  const auto& t = tech::imec3nm();
+  namespace calib = tech::calib;
+
+  util::Table table("Column read/write via the RW port (128x128 array)");
+  table.header({"cell", "column read [ns]", "column write [ns]",
+                "column RMW energy [pJ]", "accesses", "read gain",
+                "write gain"});
+
+  // Baselines per the paper's arithmetic: the read gain is referenced to
+  // the full 2x128-cycle baseline update (257.8 ns); the write gain to a
+  // write-only baseline of 128 row writes at the 1RW+4R system clock.
+  const sram::SramMacro base_macro(
+      t, sram::BitcellSpec::of(sram::CellKind::k1RW), {}, t.vprech_nominal);
+  const double base_update_ns =
+      util::in_nanoseconds(base_macro.column_update_cost().time);
+  const double base_write_ns = calib::kBaselineColumnWriteOnlyNs;
+  for (sram::CellKind kind : sram::kAllCellKinds) {
+    const sram::SramTimingModel m(t, sram::BitcellSpec::of(kind), {},
+                                  t.vprech_nominal);
+    const auto rd = m.line_read();
+    const auto wr = m.line_write();
+    const std::size_t accesses =
+        kind == sram::CellKind::k1RW ? 2 * 128 : 2 * 4;
+    const bool is_base = kind == sram::CellKind::k1RW;
+    table.row({std::string(sram::to_string(kind)),
+               util::fmt("%.2f", util::in_nanoseconds(rd.time)),
+               util::fmt("%.2f", util::in_nanoseconds(wr.time)),
+               util::fmt("%.2f", util::in_picojoules(rd.energy + wr.energy)),
+               util::fmt("2 x %zu", accesses / 2),
+               is_base ? "1.0x (ref)"
+                       : util::fmt("%.1fx", base_update_ns /
+                                                util::in_nanoseconds(rd.time)),
+               is_base ? "1.0x (ref)"
+                       : util::fmt("%.1fx", base_write_ns /
+                                                util::in_nanoseconds(wr.time))});
+  }
+  table.note(util::fmt(
+      "paper: 6T baseline 2 x 128 cycles = %.1f ns, %.0f pJ; 1RW+4R column "
+      "read %.1f ns (%.1fx less), write %.2f ns (%.1fx less)",
+      calib::kBaselineColumnUpdateNs, calib::kBaselineColumnUpdatePj,
+      calib::kProposedColumnReadNs, calib::kColumnReadGain,
+      calib::kProposedColumnWriteNs, calib::kColumnWriteGain));
+  table.print();
+  std::printf("\n");
+
+  // End-to-end: run the same stochastic-STDP schedule through a 1RW+4R tile
+  // and a 6T tile and compare the measured learning cost.
+  util::Table e2e("End-to-end stochastic STDP (128 inputs, 16 neurons, "
+                  "256 column updates)");
+  e2e.header({"cell", "learning time [us]", "learning energy [pJ]",
+              "time vs 6T"});
+  double base_time_us = 0.0;
+  for (sram::CellKind kind : {sram::CellKind::k1RW, sram::CellKind::k1RW4R}) {
+    arch::TileConfig cfg;
+    cfg.inputs = 128;
+    cfg.outputs = 16;
+    cfg.cell = kind;
+    arch::Tile tile(t, cfg);
+    nn::SnnLayer layer;
+    layer.weight_rows.assign(128, util::BitVec(16));
+    layer.thresholds.assign(16, 0);
+    layer.readout_offsets.assign(16, 0.0f);
+    tile.load_layer(layer);
+
+    learning::OnlineLearner learner(tile, {.p_potentiation = 0.2,
+                                           .p_depression = 0.05,
+                                           .seed = 42});
+    util::Rng rng(7);
+    for (int update = 0; update < 256; ++update) {
+      util::BitVec pre(128);
+      for (std::size_t i = 0; i < 128; ++i) {
+        if (rng.bernoulli(0.2)) pre.set(i);
+      }
+      learner.reward(update % 16, pre);
+    }
+    const double time_us = util::in_microseconds(learner.stats().time);
+    if (kind == sram::CellKind::k1RW) base_time_us = time_us;
+    e2e.row({std::string(sram::to_string(kind)),
+             util::fmt("%.2f", time_us),
+             util::fmt("%.1f", util::in_picojoules(learner.stats().energy)),
+             util::fmt("%.1fx faster", base_time_us / time_us)});
+  }
+  e2e.print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Regenerates Table 3: comparison of the 1RW+4R ESAM system against
+// state-of-the-art small-scale SNN accelerators. The literature columns
+// ([6] A-SSCC'20, [9] JSSC'19 Chen et al., [10] Front. Neurosci.'18 Kim et
+// al.) are reported constants from those papers, as in the original table;
+// the "This Work" column is measured by our cycle-accurate reproduction.
+#include "bench_common.hpp"
+#include "esam/core/esam.hpp"
+#include "esam/tech/calibration.hpp"
+
+using namespace esam;
+
+int main(int argc, char** argv) {
+  bench::print_setup_header("Table 3: comparison with prior SNN accelerators");
+
+  const std::size_t inferences =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500;
+
+  core::ModelConfig mc;
+  mc.verbose = true;
+  const core::TrainedModel model = core::TrainedModel::create(mc);
+  arch::SystemConfig hw;  // 1RW+4R @ 500 mV (the proposed configuration)
+  core::EsamSystem system(model, hw);
+  const core::SystemReport r = system.evaluate(inferences);
+
+  util::Table table("Table 3 -- small-scale SNN accelerators (MNIST)");
+  table.header({"metric", "[6] A-SSCC'20", "[9] JSSC'19", "[10] FNins'18",
+                "This Work (measured)", "This Work (paper)"});
+  table.row({"technology [nm]", "65", "10", "65", "3", "3"});
+  table.row({"neuron count", "650", "4096", "1K",
+             util::fmt("%zu", r.neurons), "778"});
+  table.row({"synapse count", "67K", "1M", "256K",
+             util::fmt("%.0fK", static_cast<double>(r.synapses) / 1000.0),
+             "330K"});
+  table.row({"activation bits", "6", "1", "-", "1", "1"});
+  table.row({"weight bits", "1", "7", "5", "1", "1"});
+  table.row({"transposable", "no", "no", "yes", "yes", "yes"});
+  table.row({"clock", "70 kHz", "506 MHz", "100 MHz",
+             util::fmt("%.0f MHz", r.clock_mhz), "810 MHz"});
+  table.row({"power", "305 nW", "196 mW*", "53 mW",
+             util::fmt("%.1f mW", r.power_mw), "29.0 mW"});
+  table.row({"accuracy [%]", "97.6", "97.9", "97.2",
+             util::fmt("%.2f**", 100.0 * r.accuracy), "97.6"});
+  table.row({"throughput [Inf/s]", "2", "6250", "20",
+             util::fmt("%.1fM", r.throughput_minf_per_s), "44M"});
+  table.row({"energy/Inf [nJ]", "195", "1000", "-",
+             util::fmt("%.3f", r.energy_per_inf_pj / 1000.0), "0.607"});
+  table.note("*  inferred from SOP/s/mm^2, area and pJ/SOP (as in the paper)");
+  table.note(util::fmt("** measured on the %s dataset (offline substitute for "
+                       "MNIST; see EXPERIMENTS.md)",
+                       r.dataset_source.c_str()));
+  table.print();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Design-space exploration with the ESAM models: sweep cell type, precharge
+// voltage and array size, and print the resulting operating points -- the
+// kind of study sec. 4.2 / Fig. 7 distils into the final configuration.
+//
+//   ./design_space
+#include <cstdio>
+
+#include "esam/sram/timing.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/table.hpp"
+
+using namespace esam;
+
+int main() {
+  const auto& tech = tech::imec3nm();
+
+  util::Table sweep("Design space: cell x Vprech x array size");
+  sweep.header({"cell", "Vprech [mV]", "array", "valid?", "access [ps/op]",
+                "energy [fJ/op]", "array area [um^2]", "leak [uW]"});
+
+  for (sram::CellKind kind :
+       {sram::CellKind::k1RW1R, sram::CellKind::k1RW2R,
+        sram::CellKind::k1RW4R}) {
+    for (double v_mv : {400.0, 500.0, 700.0}) {
+      for (std::size_t dim : {64u, 128u, 256u}) {
+        const sram::SramTimingModel m(tech, sram::BitcellSpec::of(kind),
+                                      sram::ArrayGeometry{dim, dim, 4},
+                                      util::millivolts(v_mv));
+        sweep.row(
+            {std::string(sram::to_string(kind)), util::fmt("%.0f", v_mv),
+             util::fmt("%zux%zu", dim, dim), m.yielding() ? "yes" : "NO",
+             util::fmt("%.0f", util::in_picoseconds(
+                                   m.average_access_time_full_utilization())),
+             util::fmt("%.1f", util::in_femtojoules(
+                                   m.average_access_energy_full_utilization())),
+             util::fmt("%.0f", util::in_square_microns(m.array_area())),
+             util::fmt("%.1f", util::in_microwatts(m.leakage()))});
+      }
+    }
+  }
+  sweep.note("'NO' = the NBL write assist would need VWD < -400 mV: "
+             "non-yielding, the paper's 128-row/column limit");
+  sweep.note("the paper's chosen point: 1RW+4R, 500 mV, 128x128");
+  sweep.print();
+
+  // Identify the Pareto-optimal (time, energy) points among valid configs.
+  std::printf("\nPareto frontier (valid 128x128 points, time vs energy):\n");
+  struct Point {
+    const char* cell;
+    double v, t, e;
+  };
+  std::vector<Point> pts;
+  for (sram::CellKind kind : {sram::CellKind::k1RW1R, sram::CellKind::k1RW2R,
+                              sram::CellKind::k1RW3R, sram::CellKind::k1RW4R}) {
+    for (double v_mv : {400.0, 500.0, 600.0, 700.0}) {
+      const sram::SramTimingModel m(tech, sram::BitcellSpec::of(kind),
+                                    sram::ArrayGeometry{},
+                                    util::millivolts(v_mv));
+      pts.push_back(
+          {sram::to_string(kind).data(), v_mv,
+           util::in_picoseconds(m.average_access_time_full_utilization()),
+           util::in_femtojoules(m.average_access_energy_full_utilization())});
+    }
+  }
+  for (const Point& p : pts) {
+    bool dominated = false;
+    for (const Point& q : pts) {
+      if (q.t <= p.t && q.e <= p.e && (q.t < p.t || q.e < p.e)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      std::printf("  %-8s @ %.0f mV : %.0f ps/op, %.1f fJ/op\n", p.cell, p.v,
+                  p.t, p.e);
+    }
+  }
+  return 0;
+}

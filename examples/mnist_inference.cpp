@@ -1,0 +1,51 @@
+// MNIST digit classification on ESAM -- the paper's sec. 4.4.2 application.
+//
+// Trains the 768:256:256:256:10 BNN (or loads a cached one), converts it to
+// a Binary-SNN with per-neuron thresholds, streams test digits through the
+// cycle-accurate 1RW+4R pipeline, and prints the Fig. 8 / Table 3 metrics
+// plus an energy breakdown.
+//
+//   ./mnist_inference [n_inferences]     (default 500)
+//
+// Set ESAM_MNIST_DIR to a directory with the IDX files to use real MNIST;
+// otherwise the synthetic digit generator is used (see DESIGN.md sec. 2).
+#include <cstdio>
+#include <cstdlib>
+
+#include "esam/core/esam.hpp"
+
+using namespace esam;
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500;
+
+  core::ModelConfig mc;
+  mc.verbose = true;
+  const core::TrainedModel model = core::TrainedModel::create(mc);
+
+  std::printf("\nBNN: train %.2f%%, test %.2f%% | converted SNN is bit-exact "
+              "(same decisions)\n",
+              100.0 * model.bnn_train_accuracy,
+              100.0 * model.bnn_test_accuracy);
+  std::printf("network: 768:256:256:256:10 -> %zu neurons, %zu synapses\n\n",
+              model.snn.neuron_count(), model.snn.synapse_count());
+
+  core::EsamSystem system(model, {});  // 1RW+4R @ 500 mV
+  core::SystemReport report = system.evaluate(n);
+  report.print();
+
+  // Show a few individual classifications.
+  std::printf("\nsample classifications (hardware pipeline):\n");
+  arch::SystemSimulator& sim = system.simulator();
+  for (std::size_t i = 0; i < 8 && i < model.data.test.size(); ++i) {
+    std::vector<util::BitVec> one{model.data.test.spikes[i]};
+    const arch::RunResult r = sim.run(one);
+    std::printf("  digit %u -> predicted %zu %s (%zu input spikes, %llu cycles)\n",
+                model.data.test.labels[i], r.predictions[0],
+                r.predictions[0] == model.data.test.labels[i] ? "ok" : "WRONG",
+                model.data.test.spikes[i].count(),
+                static_cast<unsigned long long>(r.cycles));
+  }
+  return 0;
+}

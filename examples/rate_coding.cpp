@@ -1,0 +1,69 @@
+// Rate-coded (multi-timestep) inference on ESAM -- an extension beyond the
+// paper's single-timestep static task.
+//
+// The same hardware runs grayscale digits *without binarization*: each pixel
+// intensity becomes a Bernoulli spike train over T timesteps, membranes are
+// carried across timesteps, and classification reads the accumulated output
+// potentials. The demo sweeps T and shows accuracy approaching the
+// binarized-static operating point while energy grows linearly with T.
+//
+//   ./rate_coding
+#include <cstdio>
+
+#include "esam/arch/rate_coded.hpp"
+#include "esam/core/esam.hpp"
+#include "esam/util/table.hpp"
+
+using namespace esam;
+
+int main() {
+  // Train the standard model (cached); its binary weights are reused
+  // unchanged for the rate-coded mode.
+  core::ModelConfig mc;
+  mc.verbose = true;
+  const core::TrainedModel model = core::TrainedModel::create(mc);
+
+  // Grayscale (non-binarized) test inputs: crop corners only.
+  const data::Dataset raw = data::generate_synthetic_digits(400, 424242);
+  std::vector<std::vector<float>> gray;
+  for (const auto& img : raw.images) gray.push_back(data::crop_corners(img));
+
+  std::printf("\nbinarized static baseline (T=1, threshold 0.5): %.2f%% "
+              "BNN test accuracy\n\n",
+              100.0 * model.bnn_test_accuracy);
+
+  util::Table table("Rate-coded grayscale inference vs timestep window");
+  table.header({"timesteps T", "accuracy [%]", "avg input spikes/sample",
+                "energy [pJ/sample]", "cycles/sample"});
+
+  for (std::size_t timesteps : {1u, 2u, 4u, 8u, 16u}) {
+    arch::TileConfig proto;
+    proto.cell = sram::CellKind::k1RW4R;
+    arch::RateCodedRunner runner(tech::imec3nm(), model.snn, proto, timesteps);
+    util::EnergyLedger ledger;
+    runner.attach_ledger(&ledger);
+    arch::RateEncoder encoder(99);
+
+    std::size_t correct = 0;
+    std::size_t spikes = 0;
+    std::uint64_t cycles = 0;
+    for (std::size_t i = 0; i < gray.size(); ++i) {
+      const arch::RateCodedResult r = runner.classify(gray[i], encoder);
+      if (r.prediction == raw.labels[i]) ++correct;
+      spikes += r.total_input_spikes;
+      cycles += r.cycles;
+    }
+    const double n = static_cast<double>(gray.size());
+    table.row({util::fmt("%zu", timesteps),
+               util::fmt("%.2f", 100.0 * static_cast<double>(correct) / n),
+               util::fmt("%.0f", static_cast<double>(spikes) / n),
+               util::fmt("%.0f",
+                         util::in_picojoules(ledger.dynamic_energy()) / n),
+               util::fmt("%.1f", static_cast<double>(cycles) / n)});
+  }
+  table.note("longer windows average the Bernoulli input noise: accuracy "
+             "climbs towards the static binarized point while energy scales "
+             "with T -- the classic SNN latency/energy/accuracy knob");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The p-port spike arbiter (paper sec. 3.3, Fig. 4).
+//
+// Holds the pending spike-request vector R of one SRAM array (one bit per
+// wordline) and, each clock cycle, grants up to p requests by cascading p
+// 1-port fixed-priority encoders: stage k receives the masked vector R' of
+// stage k-1 and produces its own one-hot grant, all combinationally within
+// the cycle. Granted wordlines fire their RWLs; `R_empty` rises when no
+// requests remain, enabling the neurons' threshold comparison.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "esam/arbiter/priority_encoder.hpp"
+#include "esam/util/bitvec.hpp"
+
+namespace esam::arbiter {
+
+/// Grant-selection policy. The paper's design is a fixed-priority encoder
+/// (lowest index wins); the round-robin extension rotates the highest
+/// priority after each cycle, bounding per-row wait times under sustained
+/// load at the cost of a rotate stage in front of the encoder.
+enum class ArbiterPolicy : std::uint8_t { kFixedPriority, kRoundRobin };
+
+/// Grants produced in one clock cycle.
+struct GrantSet {
+  /// Granted wordline indices, in priority order; size <= ports.
+  std::vector<std::size_t> rows;
+  /// Per-port validity flags (rows.size() ports valid, rest unused).
+  std::size_t valid_ports = 0;
+  /// True when the request vector is empty *after* these grants.
+  bool r_empty_after = false;
+};
+
+class MultiPortArbiter {
+ public:
+  /// `width`: request-vector width (SRAM rows, 128 in the paper).
+  /// `ports`: number of decoupled read ports p (1 for the 6T baseline).
+  MultiPortArbiter(std::size_t width, std::size_t ports,
+                   EncoderTopology topology = EncoderTopology::kTree,
+                   std::size_t base_width = 32,
+                   ArbiterPolicy policy = ArbiterPolicy::kFixedPriority);
+
+  [[nodiscard]] std::size_t width() const { return encoder_.width(); }
+  [[nodiscard]] std::size_t ports() const { return ports_; }
+  [[nodiscard]] ArbiterPolicy policy() const { return policy_; }
+
+  /// Latches new spike requests (OR-ed into the pending vector).
+  void request(const BitVec& spikes);
+  /// Latches a single request.
+  void request(std::size_t row);
+
+  /// Pending request count.
+  [[nodiscard]] std::size_t pending() const { return pending_.count(); }
+  [[nodiscard]] const BitVec& pending_vector() const { return pending_; }
+  [[nodiscard]] bool r_empty() const { return pending_.none(); }
+
+  /// Executes one arbitration cycle: grants up to `ports` pending requests
+  /// (removing them from the pending vector) and reports R_empty.
+  GrantSet arbitrate();
+
+  /// Cycles needed to drain `spikes` requests at full port utilization.
+  [[nodiscard]] std::size_t drain_cycles(std::size_t spikes) const;
+
+  void reset();
+
+ private:
+  PriorityEncoder encoder_;
+  std::size_t ports_;
+  ArbiterPolicy policy_;
+  BitVec pending_;
+  /// Round-robin rotation pointer: index with the highest priority next
+  /// cycle (one past the last granted row).
+  std::size_t rr_start_ = 0;
+};
+
+}  // namespace esam::arbiter

@@ -1,0 +1,52 @@
+// Adder-Tree digital-CIM baseline (paper sec. 1 / 2.1, refs [2-5]).
+//
+// The alternative to ESAM's CIM-P style: every column carries a full
+// parallel adder tree over all rows, so a whole layer MAC completes in one
+// array access regardless of how many inputs spiked. The paper's intro
+// summarizes the trade-off -- "Adder Trees allow enhanced parallelism but
+// come at the price of disrupting the SRAM structure and introducing
+// considerable hardware overhead" and they cannot "efficiently leverage the
+// sparsity of SNNs". This model quantifies both sides so the comparison
+// bench can reproduce that argument:
+//
+//  * latency: one access + log2(rows) adder levels -> very few cycles per
+//    layer (it wins raw speed);
+//  * energy: every row contributes every inference (dense), so the
+//    per-inference energy ignores spike sparsity entirely;
+//  * area: (rows - 1) one-bit adders per column on top of the cells.
+#pragma once
+
+#include <cstddef>
+
+#include "esam/tech/technology.hpp"
+#include "esam/util/units.hpp"
+
+namespace esam::arch {
+
+/// Cost model of one adder-tree CIM array evaluating `rows` x `cols`
+/// binary weights against binary activations.
+class AdderTreeArrayModel {
+ public:
+  AdderTreeArrayModel(const tech::TechnologyParams& tech, std::size_t rows,
+                      std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Combinational depth of the per-column tree.
+  [[nodiscard]] std::size_t tree_levels() const;
+  /// Minimum clock period: cell read + full tree + register.
+  [[nodiscard]] util::Time clock_period() const;
+  /// One full-layer MAC (all rows, all columns) -- a single access.
+  [[nodiscard]] util::Energy mac_energy() const;
+  /// Cells + per-column adder trees + sense/control.
+  [[nodiscard]] util::Area area() const;
+  [[nodiscard]] util::Power leakage() const;
+
+ private:
+  const tech::TechnologyParams* tech_;
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace esam::arch

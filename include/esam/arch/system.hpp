@@ -1,0 +1,91 @@
+// Cycle-accurate, pipelined multi-tile system simulator.
+//
+// Plays the role of the authors' spike-by-spike Python simulation (sec. 4.1):
+// it streams inferences through the cascaded tiles -- each tile working on a
+// different inference concurrently, spikes handed between tiles as parallel
+// binary pulses -- and integrates the per-operation energies of the SRAM /
+// arbiter / neuron models plus clock-tree and leakage power into the
+// system-level numbers of Fig. 8 and Table 3 (throughput, energy/inference,
+// average power, area).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "esam/arch/tile.hpp"
+#include "esam/arch/trace.hpp"
+#include "esam/nn/convert.hpp"
+
+namespace esam::arch {
+
+/// System-wide hardware configuration (applied to every tile).
+struct SystemConfig {
+  sram::CellKind cell = sram::CellKind::k1RW4R;
+  Voltage vprech = util::millivolts(500.0);
+  arbiter::EncoderTopology topology = arbiter::EncoderTopology::kTree;
+  std::size_t max_array_dim = 128;
+  std::size_t col_mux = 4;
+  neuron::NeuronConfig neuron{};
+  /// Clock-period multiplier vs the Table 2 nominal (see TileConfig).
+  double clock_derate = 1.0;
+};
+
+/// Area accounting for Fig. 8.
+struct AreaBreakdown {
+  Area arrays{};
+  Area arbiters{};
+  Area neurons{};
+  Area total{};  ///< including clock/fabric overhead
+};
+
+/// Outcome of one streamed run.
+struct RunResult {
+  std::vector<std::size_t> predictions;
+  double accuracy = 0.0;  ///< only when labels were provided
+  std::uint64_t cycles = 0;
+  Time elapsed{};
+  EnergyLedger ledger;
+  double throughput_inf_per_s = 0.0;
+  Energy energy_per_inference{};
+  Power average_power{};
+  double avg_cycles_per_inference = 0.0;
+};
+
+class SystemSimulator {
+ public:
+  /// Builds one tile per SNN layer and loads the converted weights.
+  SystemSimulator(const TechnologyParams& tech, const nn::SnnNetwork& snn,
+                  SystemConfig cfg);
+
+  [[nodiscard]] std::size_t tile_count() const { return tiles_.size(); }
+  [[nodiscard]] Tile& tile(std::size_t i) { return tiles_.at(i); }
+  [[nodiscard]] const Tile& tile(std::size_t i) const { return tiles_.at(i); }
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+
+  /// Global clock period: the slowest tile stage (all tiles share the cell
+  /// type here, so this equals the Table 2 maximum for that cell).
+  [[nodiscard]] Time clock_period() const;
+  [[nodiscard]] util::Frequency clock_frequency() const;
+
+  [[nodiscard]] AreaBreakdown area() const;
+  [[nodiscard]] Power total_leakage() const;
+  [[nodiscard]] std::size_t flop_count() const;
+  [[nodiscard]] std::size_t neuron_count() const;
+  [[nodiscard]] std::size_t synapse_count() const;
+
+  /// Streams `inputs` through the pipeline back-to-back and measures
+  /// system-level metrics. When `labels` is non-null, fills accuracy.
+  /// An optional observer receives per-cycle tile activity (e.g. a
+  /// VcdTraceWriter for waveform inspection).
+  RunResult run(const std::vector<BitVec>& inputs,
+                const std::vector<std::uint8_t>* labels = nullptr,
+                PipelineObserver* observer = nullptr);
+
+ private:
+  const TechnologyParams* tech_;
+  SystemConfig cfg_;
+  std::vector<Tile> tiles_;
+};
+
+}  // namespace esam::arch

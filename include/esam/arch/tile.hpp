@@ -1,0 +1,151 @@
+// One ESAM Tile (paper Fig. 2): SRAM arrays + arbiters + neuron array.
+//
+// A layer with I pre-synaptic inputs and O post-synaptic neurons maps to
+// ceil(I/128) row-groups x ceil(O/128) column-groups of at-most-128x128
+// SRAM arrays (the NBL yield rule caps arrays at 128, sec. 4.1). Each
+// row-group has its own p-port arbiter over its 128 wordlines, so a
+// 768-input tile can select up to 6p spikes per cycle (sec. 4.4.2). Each
+// column hosts one IF neuron that sums the valid port bits from every
+// row-group in the cycle.
+//
+// The tile processes one inference at a time: input spikes latch into the
+// arbiters' request vectors; each clock cycle the arbiters grant up to p
+// rows per row-group, the granted rows are read on the decoupled ports and
+// accumulated; when every arbiter reports R_empty the neurons compare
+// against their thresholds, fire, and the output spike vector is handed to
+// the next tile over the binary-pulse fabric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "esam/arbiter/arbiter.hpp"
+#include "esam/neuron/neuron.hpp"
+#include "esam/nn/convert.hpp"
+#include "esam/sram/macro.hpp"
+
+namespace esam::arch {
+
+using tech::TechnologyParams;
+using util::Area;
+using util::BitVec;
+using util::Energy;
+using util::EnergyLedger;
+using util::Power;
+using util::Time;
+using util::Voltage;
+
+/// Static configuration of one tile.
+struct TileConfig {
+  std::size_t inputs = 128;
+  std::size_t outputs = 128;
+  sram::CellKind cell = sram::CellKind::k1RW4R;
+  Voltage vprech = util::millivolts(500.0);
+  arbiter::EncoderTopology topology = arbiter::EncoderTopology::kTree;
+  std::size_t max_array_dim = 128;
+  std::size_t col_mux = 4;
+  neuron::NeuronConfig neuron{};
+  /// Output-layer tiles expose Vmem scores instead of firing spikes.
+  bool is_output_layer = false;
+  /// Clock-period multiplier vs the Table 2 nominal (the low-power HVT
+  /// operating point runs the same pipeline at a derated clock).
+  double clock_derate = 1.0;
+  /// Keep membrane potentials across start_inference() calls (multi-
+  /// timestep / rate-coded operation); default resets per inference.
+  bool carry_membrane = false;
+};
+
+/// Per-tile activity counters.
+struct TileStats {
+  std::uint64_t busy_cycles = 0;
+  std::uint64_t spikes_served = 0;
+  std::uint64_t inferences = 0;
+  std::uint64_t row_reads = 0;
+};
+
+class Tile {
+ public:
+  Tile(const TechnologyParams& tech, TileConfig cfg);
+
+  [[nodiscard]] const TileConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t row_groups() const { return row_groups_; }
+  [[nodiscard]] std::size_t col_groups() const { return col_groups_; }
+  [[nodiscard]] const TileStats& stats() const { return stats_; }
+
+  /// Loads converted weights + thresholds; layer shape must match.
+  void load_layer(const nn::SnnLayer& layer);
+
+  void attach_ledger(EnergyLedger* ledger);
+
+  // --- pipelined execution ----------------------------------------------
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] bool output_ready() const { return output_ready_; }
+  /// Spike requests still queued across all row-group arbiters.
+  [[nodiscard]] std::size_t pending_requests() const;
+
+  /// Latches a new inference's input spikes (requires !busy()).
+  void start_inference(const BitVec& input_spikes);
+
+  /// Advances one clock cycle (no-op when idle).
+  void step();
+
+  /// Consumes the fired output spikes (hidden tiles; requires output_ready).
+  BitVec take_output();
+
+  /// Output-layer readout: raw Vmem accumulators and offset-corrected
+  /// scores (requires output_ready on an output-layer tile).
+  [[nodiscard]] std::vector<std::int32_t> output_vmem() const;
+  [[nodiscard]] std::vector<float> output_scores() const;
+  /// Clears the output-ready latch after readout (output-layer tiles).
+  void consume_output();
+
+  /// Resets every neuron's membrane and request (new sample in carried-
+  /// membrane / rate-coded operation).
+  void reset_membranes();
+
+  // --- physical models ----------------------------------------------------
+
+  /// The tile's minimum clock period: max(arbiter stage, SRAM read + neuron
+  /// accumulate stage), as in Table 2.
+  [[nodiscard]] Time clock_period() const;
+  [[nodiscard]] Area area() const;
+  [[nodiscard]] Area array_area() const;
+  [[nodiscard]] Area arbiter_area() const;
+  [[nodiscard]] Area neuron_area() const;
+  [[nodiscard]] Power leakage() const;
+  /// Pipeline/neuron/arbiter register bits driven by the clock tree.
+  [[nodiscard]] std::size_t flop_count() const;
+
+  /// Learning-path access to the underlying macros.
+  [[nodiscard]] sram::SramMacro& macro(std::size_t row_group,
+                                       std::size_t col_group);
+  [[nodiscard]] const sram::SramMacro& macro(std::size_t row_group,
+                                             std::size_t col_group) const;
+
+ private:
+  void fire_phase();
+  [[nodiscard]] std::size_t array_rows(std::size_t row_group) const;
+  [[nodiscard]] std::size_t array_cols(std::size_t col_group) const;
+
+  const TechnologyParams* tech_;
+  TileConfig cfg_;
+  std::size_t row_groups_;
+  std::size_t col_groups_;
+  /// macros_[rg * col_groups_ + cg]
+  std::vector<std::unique_ptr<sram::SramMacro>> macros_;
+  std::vector<arbiter::MultiPortArbiter> arbiters_;
+  arbiter::ArbiterTimingModel arbiter_model_;
+  std::vector<neuron::IfNeuron> neurons_;
+  neuron::NeuronArrayModel neuron_model_;
+  std::vector<float> readout_offsets_;
+
+  EnergyLedger* ledger_ = nullptr;
+  TileStats stats_;
+  bool busy_ = false;
+  bool output_ready_ = false;
+  BitVec output_spikes_;
+};
+
+}  // namespace esam::arch

@@ -1,0 +1,95 @@
+// Top-level ESAM API: ties the trained network, the converted Binary-SNN and
+// the hardware simulator together behind one facade.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   core::ModelConfig mc;                       // 768:256:256:256:10, MNIST
+//   core::TrainedModel model = core::TrainedModel::create(mc);
+//   arch::SystemConfig hw;                      // 1RW+4R @ 500 mV
+//   core::EsamSystem system(model, hw);
+//   core::SystemReport r = system.evaluate(2000);
+//   r.print();
+//
+// TrainedModel::create trains the BNN from scratch (or loads a cached model)
+// and converts it; EsamSystem instantiates the cycle-accurate hardware for a
+// given cell/voltage configuration -- Fig. 8 builds five systems from the
+// same TrainedModel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "esam/arch/system.hpp"
+#include "esam/data/dataset.hpp"
+#include "esam/nn/bnn.hpp"
+#include "esam/nn/convert.hpp"
+
+namespace esam::core {
+
+/// Network + dataset + training configuration.
+struct ModelConfig {
+  /// Paper network: 768:256:256:256:10 (sec. 4.4.2).
+  std::vector<std::size_t> shape{768, 256, 256, 256, 10};
+  std::size_t n_train = 12000;
+  std::size_t n_test = 2000;
+  std::uint64_t data_seed = 7;
+  /// 18 epochs reach ~98 % test accuracy on the synthetic digits,
+  /// bracketing the paper's 97.64 % on real MNIST.
+  nn::TrainConfig train{.epochs = 18};
+  /// When non-empty, a trained BNN is cached here and reused on later runs
+  /// (the cache is validated against the shape).
+  std::string cache_path = "esam_bnn_cache.bin";
+  /// Print training progress.
+  bool verbose = false;
+};
+
+/// A trained BNN, its exact Binary-SNN conversion, and the dataset used.
+struct TrainedModel {
+  nn::BnnNetwork bnn;
+  nn::SnnNetwork snn;
+  data::TrainTestSplit data;
+  double bnn_train_accuracy = 0.0;
+  double bnn_test_accuracy = 0.0;
+
+  /// Trains (or loads from cache) and converts.
+  static TrainedModel create(const ModelConfig& cfg);
+};
+
+/// System-level evaluation results (the Fig. 8 / Table 3 quantities).
+struct SystemReport {
+  std::string cell;
+  std::string dataset_source;
+  double clock_mhz = 0.0;
+  double throughput_minf_per_s = 0.0;
+  double energy_per_inf_pj = 0.0;
+  double power_mw = 0.0;
+  double area_um2 = 0.0;
+  double accuracy = 0.0;
+  double avg_cycles_per_inf = 0.0;
+  std::size_t neurons = 0;
+  std::size_t synapses = 0;
+  std::size_t inferences = 0;
+
+  void print() const;
+};
+
+class EsamSystem {
+ public:
+  /// Builds the hardware for `hw` and loads the model's weights. The model
+  /// must outlive the system.
+  EsamSystem(const TrainedModel& model, arch::SystemConfig hw);
+
+  [[nodiscard]] arch::SystemSimulator& simulator() { return sim_; }
+  [[nodiscard]] const arch::SystemSimulator& simulator() const { return sim_; }
+
+  /// Streams up to `max_inferences` test images (0 = all) and reports the
+  /// system metrics.
+  SystemReport evaluate(std::size_t max_inferences = 0);
+
+ private:
+  const TrainedModel* model_;
+  arch::SystemSimulator sim_;
+};
+
+}  // namespace esam::core

@@ -1,0 +1,97 @@
+// ESAM Integrate-and-Fire neuron (paper sec. 3.4, Fig. 5).
+//
+// Each neuron consumes the sensed bits of the p multiport bitlines of its
+// SRAM column. A per-port validity flag marks which ports were actually
+// granted this cycle (an unused port must not be read as a '1'). Valid bits
+// are decoded {1,0} -> {+1,-1}, summed, and accumulated into an m-bit
+// membrane register Vmem. When the tile's arbiter reports R_empty (all input
+// spikes of the current inference served), Vmem is compared against the
+// per-neuron threshold Vth held in a t-bit register: if Vmem >= Vth the
+// output request r is set and Vmem resets to zero; r clears when the
+// downstream arbiter grants the spike (g = 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "esam/tech/technology.hpp"
+#include "esam/util/units.hpp"
+
+namespace esam::neuron {
+
+/// Register widths of the neuron datapath.
+struct NeuronConfig {
+  /// Vmem register width m (signed); must accommodate the worst-case sum of
+  /// +-1 contributions over one inference (fan-in bounded).
+  unsigned vmem_bits = 12;
+  /// Vth register width t (signed).
+  unsigned vth_bits = 12;
+};
+
+/// One IF neuron with saturating m-bit accumulation.
+class IfNeuron {
+ public:
+  explicit IfNeuron(NeuronConfig cfg = {}, std::int32_t vth = 0);
+
+  [[nodiscard]] std::int32_t vmem() const { return vmem_; }
+  [[nodiscard]] std::int32_t vth() const { return vth_; }
+  void set_vth(std::int32_t vth);
+
+  /// Accumulates the decoded +-1 contributions of `bits` where `valid`;
+  /// spans must be the same length (= ports serving this neuron's column).
+  void integrate(std::span<const bool> bits, std::span<const bool> valid);
+
+  /// Accumulates a pre-summed contribution (fast path for the simulator;
+  /// semantically identical to integrate()).
+  void integrate_sum(std::int32_t delta);
+
+  /// R_empty handling: compares Vmem >= Vth, sets the output request and
+  /// resets Vmem when firing. Returns the new request state.
+  bool on_r_empty();
+
+  /// Pending output-spike request r.
+  [[nodiscard]] bool request() const { return request_; }
+  /// Downstream grant g: clears r.
+  void grant() { request_ = false; }
+
+  /// Resets membrane and request (new inference).
+  void reset();
+
+  [[nodiscard]] std::int32_t saturation_max() const { return sat_max_; }
+  [[nodiscard]] std::int32_t saturation_min() const { return sat_min_; }
+
+ private:
+  NeuronConfig cfg_;
+  std::int32_t vmem_ = 0;
+  std::int32_t vth_ = 0;
+  std::int32_t sat_max_;
+  std::int32_t sat_min_;
+  bool request_ = false;
+};
+
+/// Timing / energy / area model of a column of neurons fed by `ports`
+/// simultaneous bitlines (calibrated against the Table 2 stage split).
+class NeuronArrayModel {
+ public:
+  NeuronArrayModel(const tech::TechnologyParams& tech, NeuronConfig cfg,
+                   std::size_t ports);
+
+  /// Delay of the decode + p-input adder tree + Vmem update stage.
+  [[nodiscard]] util::Time accumulate_delay() const;
+  /// Energy of one neuron accumulating `active_inputs` valid bits.
+  [[nodiscard]] util::Energy accumulate_energy(std::size_t active_inputs) const;
+  /// Energy of the R_empty threshold comparison (+ possible fire/reset).
+  [[nodiscard]] util::Energy compare_energy() const;
+  /// Area of one neuron (adder + registers + compare + control).
+  [[nodiscard]] util::Area area_per_neuron() const;
+  [[nodiscard]] util::Power leakage_per_neuron() const;
+
+ private:
+  const tech::TechnologyParams* tech_;
+  NeuronConfig cfg_;
+  std::size_t ports_;
+};
+
+}  // namespace esam::neuron

@@ -1,0 +1,126 @@
+// Binary Neural Network training substrate (paper sec. 4.4.2).
+//
+// The paper trains the MNIST network "as a Binary Neural Network (BNN) with
+// a sign activation function and per-neuron biases", then converts it to a
+// Binary-SNN with per-neuron thresholds following Kim et al. (ICCAD'20).
+// This module implements that trainer from scratch:
+//  * fully-connected layers with latent float weights, binarized to {-1,+1}
+//    on the forward pass, and float per-neuron biases;
+//  * sign activations with straight-through-estimator (STE) gradients
+//    (gradient passed where |preact| <= 1, else clipped);
+//  * softmax cross-entropy on the last layer's (binary-weight) scores;
+//  * Adam updates on the latent weights with [-1, 1] clipping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "esam/nn/matrix.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::nn {
+
+/// One binarized fully-connected layer.
+struct BnnLayer {
+  /// Latent (real-valued) weights, out x in; binarize() gives the deployed
+  /// {-1,+1} weights.
+  Matrix latent;
+  /// Per-neuron bias (float, not binarized -- it folds into the SNN
+  /// threshold during conversion).
+  std::vector<float> bias;
+
+  BnnLayer() = default;
+  BnnLayer(std::size_t out, std::size_t in, util::Rng& rng);
+
+  [[nodiscard]] std::size_t in_features() const { return latent.cols(); }
+  [[nodiscard]] std::size_t out_features() const { return latent.rows(); }
+
+  /// Deployed binary weight: sign(latent) in {-1,+1} (sign(0) := +1).
+  [[nodiscard]] float binary_weight(std::size_t out, std::size_t in) const;
+
+  /// Pre-activation with binarized weights: a = Wb x + b.
+  [[nodiscard]] std::vector<float> preactivate(const std::vector<float>& x) const;
+};
+
+/// Sign activation in {-1,+1} with sign(0) := +1 (matches the SNN mapping
+/// where a neuron at exactly threshold fires).
+float sign_activation(float x);
+
+/// A stack of BnnLayers: hidden layers use sign activations; the last
+/// layer's pre-activations are the class scores.
+class BnnNetwork {
+ public:
+  BnnNetwork() = default;
+  /// `shape` e.g. {768, 256, 256, 256, 10}.
+  BnnNetwork(const std::vector<std::size_t>& shape, util::Rng& rng);
+
+  [[nodiscard]] const std::vector<BnnLayer>& layers() const { return layers_; }
+  [[nodiscard]] std::vector<BnnLayer>& layers() { return layers_; }
+  [[nodiscard]] std::vector<std::size_t> shape() const;
+
+  /// Class scores for a {-1,+1} input vector.
+  [[nodiscard]] std::vector<float> scores(const std::vector<float>& x) const;
+
+  /// argmax of scores.
+  [[nodiscard]] std::size_t predict(const std::vector<float>& x) const;
+
+  /// All layer activations (x, h1, ..., scores), for the SNN equivalence
+  /// tests.
+  [[nodiscard]] std::vector<std::vector<float>> forward_trace(
+      const std::vector<float>& x) const;
+
+  /// Fraction of correct predictions.
+  [[nodiscard]] double accuracy(const std::vector<std::vector<float>>& xs,
+                                const std::vector<std::uint8_t>& ys) const;
+
+  /// Binary serialization (latent weights + biases) for caching trained
+  /// models between bench runs. Returns false on I/O failure.
+  bool save(const std::string& path) const;
+  static bool load(const std::string& path, BnnNetwork& out);
+
+ private:
+  std::vector<BnnLayer> layers_;
+};
+
+/// Adam + STE trainer.
+struct TrainConfig {
+  std::size_t epochs = 20;
+  std::size_t batch_size = 64;
+  float learning_rate = 3e-3f;
+  float adam_beta1 = 0.9f;
+  float adam_beta2 = 0.999f;
+  float adam_eps = 1e-8f;
+  std::uint64_t seed = 42;
+  /// Progress callback interval in batches (0 = silent).
+  std::size_t log_every = 0;
+};
+
+class BnnTrainer {
+ public:
+  BnnTrainer(BnnNetwork& net, TrainConfig cfg);
+
+  /// One full epoch over (xs, ys); returns mean cross-entropy loss.
+  double train_epoch(const std::vector<std::vector<float>>& xs,
+                     const std::vector<std::uint8_t>& ys);
+
+  /// Full training run; returns final training loss.
+  double fit(const std::vector<std::vector<float>>& xs,
+             const std::vector<std::uint8_t>& ys);
+
+ private:
+  void train_batch(const std::vector<std::vector<float>>& xs,
+                   const std::vector<std::uint8_t>& ys,
+                   const std::vector<std::size_t>& idx, std::size_t begin,
+                   std::size_t end, double& loss_sum);
+
+  BnnNetwork* net_;
+  TrainConfig cfg_;
+  util::Rng rng_;
+  // Adam state per layer.
+  std::vector<Matrix> m_w_, v_w_;
+  std::vector<std::vector<float>> m_b_, v_b_;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace esam::nn

@@ -1,0 +1,84 @@
+// Bitcell variants of the ESAM transposable multiport SRAM (paper sec. 3.2).
+//
+// All variants keep the 6T core (M1-M6) with its Read/Write port rotated to
+// run column-wise (WL vertical, BL/BLB horizontal) and add 0..4 decoupled
+// single-ended read ports: one mirror transistor M7 on QB plus one access
+// transistor per port (M8-M11) connecting the mirror node Qr to per-port
+// vertical read bitlines RBL0..RBL3 selected by horizontal read wordlines
+// RWL0..RWL3.
+//
+// Layout consequences modelled here (paper sec. 3.2 / 4.2):
+//  * area multipliers 1.5x / 1.875x / 2.25x / 2.625x vs the 0.01512 um^2 6T;
+//  * the vertical metal layer carries WL + p RBL tracks, so the transposed
+//    WL is narrower (more resistive) as soon as one port is added;
+//  * the horizontal layer carries BL + BLB + p RWL tracks;
+//  * a 5th port would no longer match the bitline pitch and would cost
+//    another 87.5 % of the 6T area (kept available for the ablation bench).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "esam/tech/calibration.hpp"
+
+namespace esam::sram {
+
+/// The five cell variants evaluated in the paper.
+enum class CellKind : std::uint8_t {
+  k1RW,    ///< standard 6T, no decoupled read ports (baseline)
+  k1RW1R,  ///< 6T + 1 decoupled read port
+  k1RW2R,
+  k1RW3R,
+  k1RW4R,  ///< the proposed ESAM cell (Fig. 3)
+};
+
+/// All kinds in port order, for sweeps.
+inline constexpr std::array<CellKind, 5> kAllCellKinds{
+    CellKind::k1RW, CellKind::k1RW1R, CellKind::k1RW2R, CellKind::k1RW3R,
+    CellKind::k1RW4R};
+
+/// Display name, e.g. "1RW+4R".
+std::string_view to_string(CellKind kind);
+
+/// Geometric / electrical description of one bitcell variant.
+struct BitcellSpec {
+  CellKind kind = CellKind::k1RW;
+  /// Number of decoupled read ports (0 for the 6T baseline).
+  std::size_t read_ports = 0;
+  /// Area relative to the 6T cell.
+  double area_multiplier = 1.0;
+  /// Transistor count (6T core + 1 mirror + 1 per port).
+  std::size_t transistor_count = 6;
+
+  /// Absolute cell area in um^2.
+  [[nodiscard]] double area_um2() const {
+    return tech::calib::k6TCellAreaUm2 * area_multiplier;
+  }
+
+  /// Cell footprint; the multiport variants grow isotropically in the model
+  /// (width and height scale with sqrt(area multiplier)).
+  [[nodiscard]] double width_um() const;
+  [[nodiscard]] double height_um() const;
+
+  /// Relative width of one vertical routing track (transposed WL and the
+  /// RBLs share the vertical layer: 1 + read_ports tracks).
+  [[nodiscard]] double vertical_track_width_factor() const;
+  /// Relative width of one horizontal track (BL + BLB + RWLs: 2 + read_ports
+  /// tracks).
+  [[nodiscard]] double horizontal_track_width_factor() const;
+
+  /// Spec for one of the paper's five variants.
+  static BitcellSpec of(CellKind kind);
+
+  /// Hypothetical cell with `ports` >= 5 read ports for the port-scaling
+  /// ablation; each port beyond 4 adds 87.5 % of the 6T area (sec. 4.2).
+  static BitcellSpec hypothetical(std::size_t ports);
+};
+
+/// Index of a kind in the canonical arrays (0 = 1RW ... 4 = 1RW+4R).
+constexpr std::size_t index_of(CellKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace esam::sram

@@ -1,0 +1,45 @@
+// Bitcell fault modelling for yield / robustness studies.
+//
+// The paper's methodology is worst-case (+-3 sigma, worst cell/row/column,
+// the -400 mV NBL yield cliff). This extension lets a user go one step
+// further and ask what happens when cells *do* fail: stuck-at-0 / stuck-at-1
+// bitcells are injected into a SramMacro and every subsequent read sees the
+// faulty value while writes to the stuck cell are silently lost -- exactly
+// the behaviour of a defective 6T core. The fault-injection bench sweeps the
+// defect density and measures the classification-accuracy degradation of the
+// full ESAM system.
+#pragma once
+
+#include <cstdint>
+
+#include "esam/util/bitvec.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::sram {
+
+/// Kinds of (permanent) bitcell faults.
+enum class FaultKind : std::uint8_t {
+  kStuckAtZero,  ///< cell always reads '0'; writes are lost
+  kStuckAtOne,   ///< cell always reads '1'; writes are lost
+};
+
+/// A sampled set of faulty cells for one rows x cols array.
+struct FaultMap {
+  util::BitVec stuck_at_zero;  ///< flattened row-major bit per cell
+  util::BitVec stuck_at_one;
+
+  FaultMap() = default;
+  FaultMap(std::size_t rows, std::size_t cols)
+      : stuck_at_zero(rows * cols), stuck_at_one(rows * cols) {}
+
+  [[nodiscard]] std::size_t fault_count() const {
+    return stuck_at_zero.count() + stuck_at_one.count();
+  }
+};
+
+/// Samples a FaultMap with an independent per-cell defect probability,
+/// split evenly between stuck-at-0 and stuck-at-1. Deterministic in `rng`.
+FaultMap sample_fault_map(std::size_t rows, std::size_t cols,
+                          double defect_rate, util::Rng& rng);
+
+}  // namespace esam::sram

@@ -1,0 +1,117 @@
+// Functional + costed model of one ESAM SRAM macro (array + periphery).
+//
+// Stores the synaptic weight bits and executes the two access patterns of
+// the architecture:
+//  * inference: up to `p` simultaneous row reads through the decoupled
+//    single-ended ports (one per granted spike);
+//  * learning: column-wise read / write through the transposed RW port
+//    (4:1 muxed), or -- for the 6T baseline -- row-wise read/write.
+//
+// Every operation returns its (time, energy) cost from the timing model and
+// posts the energy to an optionally attached EnergyLedger. Simulated time is
+// advanced by the caller (the system simulator owns the clock).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "esam/sram/faults.hpp"
+#include "esam/sram/timing.hpp"
+#include "esam/util/bitvec.hpp"
+#include "esam/util/ledger.hpp"
+
+namespace esam::sram {
+
+using util::BitVec;
+using util::EnergyLedger;
+
+/// Operation counters for utilization reporting.
+struct MacroStats {
+  std::uint64_t inference_row_reads = 0;
+  std::uint64_t rw_read_accesses = 0;
+  std::uint64_t rw_write_accesses = 0;
+};
+
+class SramMacro {
+ public:
+  /// Builds a zero-initialized macro. Throws if the geometry violates the
+  /// NBL write-assist yield rule (> 128 rows/cols, sec. 4.1) unless
+  /// `allow_non_yielding` is set (used by the write-assist ablation).
+  SramMacro(const TechnologyParams& tech, BitcellSpec spec,
+            ArrayGeometry geometry, Voltage vprech,
+            bool allow_non_yielding = false);
+
+  [[nodiscard]] const SramTimingModel& timing() const { return timing_; }
+  [[nodiscard]] const ArrayGeometry& geometry() const {
+    return timing_.geometry();
+  }
+  [[nodiscard]] const BitcellSpec& spec() const { return timing_.spec(); }
+  [[nodiscard]] const MacroStats& stats() const { return stats_; }
+
+  /// Attaches a ledger that receives the energy of every subsequent op.
+  void attach_ledger(EnergyLedger* ledger) { ledger_ = ledger; }
+
+  /// Injects permanent bitcell faults (yield study): stuck cells read their
+  /// stuck value through every port and silently ignore writes. Passing a
+  /// fresh map replaces the previous one; shape must match the geometry.
+  void apply_faults(const FaultMap& map);
+  /// Removes all injected faults.
+  void clear_faults();
+  /// Number of currently faulty cells.
+  [[nodiscard]] std::size_t fault_count() const;
+
+  // --- cost-free content access (test / setup plumbing, not hardware) -------
+
+  [[nodiscard]] bool peek(std::size_t row, std::size_t col) const;
+  void poke(std::size_t row, std::size_t col, bool value);
+  /// Loads a full weight matrix (row-major, rows x cols), cost-free.
+  void load(const std::vector<BitVec>& rows);
+
+  // --- inference port --------------------------------------------------------
+
+  /// Reads one full row through decoupled port `port`; costs one row-read.
+  /// `port` must be < max(1, read_ports) (the 6T baseline serves port 0
+  /// through its RW port).
+  BitVec read_row(std::size_t port, std::size_t row);
+
+  /// Cost of one inference row read (energy posted by read_row).
+  [[nodiscard]] OpProfile inference_read_profile() const;
+
+  // --- RW port (learning path) -----------------------------------------------
+
+  /// Reads a full column through the transposed port (multiport cells:
+  /// col_mux accesses) or -- for the 6T baseline -- by sweeping all rows.
+  BitVec read_column(std::size_t col);
+
+  /// Writes a full column; same access decomposition as read_column.
+  void write_column(std::size_t col, const BitVec& bits);
+
+  /// Reads / writes a full row through the RW port. Only meaningful for the
+  /// 6T baseline (row-wise RW port); throws for transposed cells.
+  BitVec read_row_rw(std::size_t row);
+  void write_row_rw(std::size_t row, const BitVec& bits);
+
+  /// Total (time, energy) of updating one full column of weights, as in
+  /// sec. 4.4.1: transposed cells do col_mux reads + col_mux writes; the 6T
+  /// baseline does rows reads + rows writes. Pure query, no state change.
+  [[nodiscard]] OpProfile column_update_cost() const;
+
+ private:
+  void post(util::EnergyCategory cat, util::Energy e);
+  void check_row(std::size_t row) const;
+  void check_col(std::size_t col) const;
+  /// Row content with stuck-at masking applied.
+  [[nodiscard]] BitVec observed_row(std::size_t row) const;
+
+  SramTimingModel timing_;
+  std::vector<BitVec> bits_;  // [row] -> cols
+  /// Per-row stuck-at masks; empty vectors when no faults are injected.
+  std::vector<BitVec> stuck0_;
+  std::vector<BitVec> stuck1_;
+  MacroStats stats_;
+  EnergyLedger* ledger_ = nullptr;
+};
+
+}  // namespace esam::sram

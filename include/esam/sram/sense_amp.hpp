@@ -1,0 +1,65 @@
+// Sense-amplifier models (paper sec. 3.2, last paragraph).
+//
+// Two sensing styles are used:
+//  * the transposed BL/BLB pair is sensed by a traditional voltage-mode
+//    differential sense amplifier, row-muxed 4:1 to match the SRAM row pitch;
+//  * the per-port single-ended RBLs are sensed by cascaded inverter-based
+//    sense amplifiers that fit the column pitch but switch "slightly slower"
+//    than the differential SA.
+#pragma once
+
+#include "esam/tech/technology.hpp"
+#include "esam/util/units.hpp"
+
+namespace esam::sram {
+
+using tech::TechnologyParams;
+using util::Area;
+using util::Capacitance;
+using util::Energy;
+using util::Time;
+using util::Voltage;
+
+/// Voltage-mode differential sense amplifier (transposed port).
+class DifferentialSenseAmp {
+ public:
+  explicit DifferentialSenseAmp(const TechnologyParams& tech);
+
+  /// Differential swing on BL/BLB required before strobing.
+  [[nodiscard]] Voltage required_swing() const;
+  /// Strobe-to-output delay.
+  [[nodiscard]] Time sense_delay() const;
+  /// Energy of one sense (latch regeneration + output drive).
+  [[nodiscard]] Energy sense_energy() const;
+  /// Input capacitance presented to each bitline.
+  [[nodiscard]] Capacitance input_cap() const;
+  [[nodiscard]] Area area() const;
+
+ private:
+  const TechnologyParams* tech_;
+};
+
+/// Cascaded-inverter single-ended sense amplifier (decoupled read ports).
+/// Trips when the RBL crosses roughly half the precharge voltage; fits the
+/// SRAM column pitch (one instance per column per port).
+class InverterSenseAmp {
+ public:
+  InverterSenseAmp(const TechnologyParams& tech, Voltage vprech);
+
+  /// RBL swing (from Vprech downward) needed to cross the trip point.
+  [[nodiscard]] Voltage required_swing() const;
+  /// Trip-to-output delay of the inverter cascade; grows when the input
+  /// levels give the first stage little overdrive (low Vprech).
+  [[nodiscard]] Time sense_delay() const;
+  /// Energy of one sense: the input stage charges from the RBL rail, the
+  /// later stages from VDD, so energy partially tracks Vprech^2.
+  [[nodiscard]] Energy sense_energy() const;
+  [[nodiscard]] Capacitance input_cap() const;
+  [[nodiscard]] Area area() const;
+
+ private:
+  const TechnologyParams* tech_;
+  Voltage vprech_;
+};
+
+}  // namespace esam::sram

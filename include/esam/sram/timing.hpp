@@ -1,0 +1,126 @@
+// Analytic timing / energy / area model of one ESAM SRAM array.
+//
+// Reproduces, for a given (bitcell variant, array geometry, precharge
+// voltage):
+//  * the inference read path on the decoupled single-ended ports
+//    (Fig. 7: precharge + read access time, access energy vs Vprech);
+//  * the Read/Write behaviour of the 1RW port (Fig. 6): for the multiport
+//    cells this port is *column-wise* ("transposed"); for the 6T baseline it
+//    is the ordinary row-wise port -- electrically the same structure, so one
+//    model covers both orientations;
+//  * NBL write-assist requirements (array-size validity, sec. 4.1);
+//  * leakage and array area (cells + periphery).
+//
+// Absolute values are pinned to the paper's anchors by per-cell calibration
+// scale factors computed once at the nominal operating point (128x128,
+// Vprech = 500 mV); all scaling with geometry, port count and voltage comes
+// from the underlying RC / CV^2 physics. See DESIGN.md sec. 2.
+#pragma once
+
+#include <cstddef>
+
+#include "esam/sram/bitcell.hpp"
+#include "esam/sram/sense_amp.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/tech/write_assist.hpp"
+#include "esam/util/units.hpp"
+
+namespace esam::sram {
+
+using tech::TechnologyParams;
+using util::Area;
+using util::Energy;
+using util::Power;
+using util::Time;
+using util::Voltage;
+
+/// Physical array shape. `col_mux` is the sharing factor of the RW-port
+/// sense amplifiers / write drivers (4:1 in the paper to match pitch).
+struct ArrayGeometry {
+  std::size_t rows = 128;
+  std::size_t cols = 128;
+  std::size_t col_mux = 4;
+};
+
+/// Cost of one memory operation.
+struct OpProfile {
+  Time time{};
+  Energy energy{};
+};
+
+class SramTimingModel {
+ public:
+  /// Throws std::invalid_argument for degenerate geometry (0 rows/cols).
+  SramTimingModel(const TechnologyParams& tech, BitcellSpec spec,
+                  ArrayGeometry geometry, Voltage vprech);
+
+  // --- inference path (decoupled single-ended ports) ---------------------
+
+  /// Time to precharge the read bitlines to Vprech.
+  [[nodiscard]] Time precharge_time() const;
+  /// Decode + RWL + RBL discharge + sense (excludes precharge, which is
+  /// overlapped with decode in the pipeline).
+  [[nodiscard]] Time inference_read_time() const;
+  /// Fig. 7 definition: precharge time + read time.
+  [[nodiscard]] Time inference_access_time() const;
+  /// Energy of one row activation on one port: all columns' RBL swings
+  /// (data-dependent activity), per-column sense amps, and the RWL itself.
+  [[nodiscard]] Energy inference_row_read_energy() const;
+  /// Fig. 7 y-axis: average per-operation energy when all `p` ports fire in
+  /// the same access window (adds the leakage integrated over the access,
+  /// shared across ports -- the mechanism that makes Vprech = 400 mV
+  /// counterproductive for 3-4 ports).
+  [[nodiscard]] Energy average_access_energy_full_utilization() const;
+  /// Fig. 7 x-axis companion: access time divided by the number of ports.
+  [[nodiscard]] Time average_access_time_full_utilization() const;
+  /// True when the precharge no longer settles within the design's allotted
+  /// half-cycle window and the access must stall for one extra cycle -- the
+  /// "much slower precharging" effect that makes Vprech = 400 mV
+  /// counterproductive for the 3- and 4-port cells (Fig. 7 discussion).
+  [[nodiscard]] bool precharge_stalled() const;
+
+  // --- 1RW port (column-wise for multiport cells, row-wise for the 6T) ----
+
+  /// True when the RW port runs column-wise (any decoupled-port cell).
+  [[nodiscard]] bool rw_port_is_columnwise() const;
+  /// Bits transferred by one RW-port access (line length / col_mux).
+  [[nodiscard]] std::size_t rw_access_bits() const;
+  /// One muxed read access via the RW port (differential SA).
+  [[nodiscard]] OpProfile rw_read_access() const;
+  /// One muxed write access via the RW port (full swing + NBL assist).
+  [[nodiscard]] OpProfile rw_write_access() const;
+  /// Reading one full line (a column for multiport cells): col_mux accesses.
+  [[nodiscard]] OpProfile line_read() const;
+  [[nodiscard]] OpProfile line_write() const;
+
+  // --- write assist / validity -------------------------------------------
+
+  [[nodiscard]] Voltage required_vwd() const;
+  /// False when the geometry violates the -400 mV NBL yield rule.
+  [[nodiscard]] bool yielding() const;
+
+  // --- statics -------------------------------------------------------------
+
+  [[nodiscard]] Power leakage() const;
+  [[nodiscard]] Area cell_array_area() const;
+  /// Cells + sense amps + drivers + decoders + control.
+  [[nodiscard]] Area array_area() const;
+
+  [[nodiscard]] const BitcellSpec& spec() const { return spec_; }
+  [[nodiscard]] const ArrayGeometry& geometry() const { return geom_; }
+  [[nodiscard]] Voltage vprech() const { return vprech_; }
+  [[nodiscard]] const TechnologyParams& tech() const { return *tech_; }
+
+ private:
+  struct Raw;  // uncalibrated analytic values
+  [[nodiscard]] Raw raw() const;
+  friend struct CalibrationProbe;  // calibration fit needs the raw values
+
+  const TechnologyParams* tech_;
+  BitcellSpec spec_;
+  ArrayGeometry geom_;
+  Voltage vprech_;
+  tech::WriteAssistModel assist_;
+};
+
+}  // namespace esam::sram

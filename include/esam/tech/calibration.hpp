@@ -1,0 +1,135 @@
+// Calibration anchors: every number the paper text states, as constants.
+//
+// The reproduction's analytic circuit model is *fitted* to these anchors and
+// the golden tests (tests/test_golden_anchors.cpp) verify the fit stays
+// within tolerance. Each constant cites the paper section it comes from.
+// Everything else the model produces (interior points of Fig. 6/7 curves,
+// energies the paper does not state numerically) is interpolated by the
+// physical model, not asserted.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace esam::tech::calib {
+
+// --- Section 4.2, circuit level ----------------------------------------------
+
+/// Area of the standard 6T cell in um^2 ("the area of standard 6T is
+/// 0.01512 um^2 [20]").
+inline constexpr double k6TCellAreaUm2 = 0.01512;
+
+/// Cell-area multipliers vs 6T for 1RW, 1RW+1R ... 1RW+4R ("1.5x, 1.875x,
+/// 2.25x and 2.625x larger respectively").
+inline constexpr std::array<double, 5> kCellAreaMultiplier{1.0, 1.5, 1.875,
+                                                           2.25, 2.625};
+
+/// Every extra port beyond the 4th widens the cell by another 87.5 % of the
+/// 6T cell area ("increasing the area by 87.5% of the 6T cell") -- we use
+/// this for the 5-port rejection ablation. The paper's stated reason is the
+/// bitline pitch: only 4 RBLs match the 4-port cell pitch.
+inline constexpr double kFifthPortAreaPenalty = 0.875;
+
+// --- Table 2, pipeline stage delays (ns, includes slack) ----------------------
+
+/// Arbiter stage for 1RW .. 1RW+4R (128-wide, 4-port, tree encoder).
+inline constexpr std::array<double, 5> kTable2ArbiterNs{1.01, 1.01, 1.04, 1.03,
+                                                        1.01};
+/// "SRAM + Neuron" stage for 1RW .. 1RW+4R.
+inline constexpr std::array<double, 5> kTable2SramNeuronNs{0.69, 1.08, 1.18,
+                                                           1.14, 1.23};
+
+// --- Section 3.3, arbiter critical path ---------------------------------------
+
+/// Flat 128-wide 4-port priority-encoder critical path (">1100 ps").
+inline constexpr double kArbiterFlatCriticalPathPs = 1100.0;
+/// Tree implementation ("<800 ps") at 8.0 % area overhead.
+inline constexpr double kArbiterTreeCriticalPathPs = 800.0;
+inline constexpr double kArbiterTreeAreaOverhead = 0.080;
+
+// --- Section 4.4.1, online learning -------------------------------------------
+
+/// Baseline 6T column update: 2 x 128 cycles, 257.8 ns, 157 pJ.
+inline constexpr double kBaselineColumnUpdateNs = 257.8;
+inline constexpr double kBaselineColumnUpdatePj = 157.0;
+/// 1RW+4R transposed-port clock period used in that comparison (1.2 ns).
+inline constexpr double kLearning4RClockNs = 1.2;
+/// Proposed 1RW+4R: full-column read 9.9 ns (26.0x less), write 8.04 ns
+/// (19.5x less); 2 x 4 accesses because of the 4:1 column muxes.
+/// The gains follow the paper's arithmetic: the read gain compares the full
+/// 2x128-cycle baseline update (257.8 ns / 9.9 ns = 26.0x); the write gain
+/// compares a write-only baseline of 128 row writes at the 1RW+4R system
+/// clock (128 x 1.23 ns = 157.4 ns / 8.04 ns = 19.6x).
+inline constexpr double kProposedColumnReadNs = 9.9;
+inline constexpr double kProposedColumnWriteNs = 8.04;
+inline constexpr double kColumnReadGain = 26.0;
+inline constexpr double kColumnWriteGain = 19.5;
+inline constexpr double kBaselineColumnWriteOnlyNs = 128.0 * 1.23;
+
+// --- Modelling split of Table 2 (our choice, documented in DESIGN.md) ---------
+//
+// Table 2 reports only the *sum* of the SRAM read path and the neuron
+// accumulate path. We split it so the neuron delay follows an adder-tree
+// depth scaling (two FO4 per tree level plus register setup); golden tests
+// assert the recombined sums match Table 2 exactly.
+
+/// Neuron accumulate delay for designs with 1..5 effective ports (ns).
+inline constexpr std::array<double, 5> kNeuronStageNs{0.094, 0.095, 0.114,
+                                                      0.116, 0.135};
+/// SRAM inference read path (decode + wordline + discharge + sense) (ns).
+inline constexpr std::array<double, 5> kSramReadPathNs{0.596, 0.985, 1.066,
+                                                       1.024, 1.095};
+
+// --- Transposed-port per-access anchors (derived from section 4.4.1) ----------
+//
+// The 6T baseline column update costs 2 x 128 cycles = 257.8 ns and 157 pJ,
+// i.e. read + write energy = 157 pJ / 128 pairs = 1.2266 pJ per row
+// read/write pair, with each op fitting in the 1.01 ns cycle. The 1RW+4R
+// transposed column read/write costs 9.9 ns / 8.04 ns over 4 accesses each
+// (4:1 row mux), i.e. 2.475 ns per read access and 2.01 ns per write access.
+
+inline constexpr double kTrans6TReadNs = 0.58;
+inline constexpr double kTrans6TWriteNs = 0.42;
+inline constexpr double kTrans6TReadPj = 0.4900;
+inline constexpr double kTrans6TWritePj = 0.7365625;  // pair sum * 128 = 157 pJ
+inline constexpr double kTrans4RReadNs = 2.475;    // 9.9 ns / 4
+inline constexpr double kTrans4RWriteNs = 2.01;    // 8.04 ns / 4
+
+// --- Section 4.1 / Table 1, write assist --------------------------------------
+
+/// NBL assist limit: if the required VWD is below -400 mV the array is
+/// considered non-yielding; this limits arrays to <= 128 rows/columns.
+inline constexpr double kMaxNegativeBitlineMv = -400.0;
+inline constexpr std::size_t kMaxArrayRows = 128;
+inline constexpr std::size_t kMaxArrayCols = 128;
+
+// --- Figure 7, precharge-voltage trade-off ------------------------------------
+
+/// Selecting Vprech = 500 mV saves >= 43 % access energy at <= 19 % higher
+/// access time vs 700 mV, for all port counts.
+inline constexpr double kVprech500MinEnergySaving = 0.43;
+inline constexpr double kVprech500MaxTimePenalty = 0.19;
+/// 400 mV saves up to 10 % more energy for 1-2 ports but *increases* energy
+/// for 3-4 ports (slow precharge lets leakage dominate).
+inline constexpr double kVprech400ExtraSaving12Ports = 0.10;
+
+// --- Abstract / Section 4.4.2, array- and system-level headline ---------------
+
+/// Array-level gains of the multiport design vs single-port (128x128).
+inline constexpr double kArraySpeedup = 3.1;
+inline constexpr double kArrayEnergyGain = 2.2;
+
+/// System level, MNIST 768:256:256:256:10 Binary-SNN, 1RW+4R cells.
+inline constexpr double kSystemThroughputMInfPerS = 44.0;
+inline constexpr double kSystemEnergyPerInfPj = 607.0;
+inline constexpr double kSystemPowerMw = 29.0;
+/// Table 3 "This Work" column.
+inline constexpr double kSystemClockMhz = 810.0;
+inline constexpr std::size_t kSystemNeuronCount = 778;
+inline constexpr std::size_t kSystemSynapseCount = 330000;
+/// Fig. 8: the 1RW+4R system occupies 2.4x the area of the 1RW system.
+inline constexpr double kSystemAreaRatio4RvsBaseline = 2.4;
+/// Paper's MNIST accuracy after BNN -> Binary-SNN conversion.
+inline constexpr double kPaperMnistAccuracy = 0.9764;
+
+}  // namespace esam::tech::calib

@@ -1,0 +1,105 @@
+// Technology descriptor for the circuit-level models.
+//
+// The paper characterizes ESAM in IMEC's 3 nm FinFET node (Cadence Spectre,
+// Calibre PEX, +-3 sigma, worst-case cell). We cannot run a proprietary PDK,
+// so this module captures the node as a small set of electrical parameters
+// (wire RC, device strength, capacitances, leakage) from which the SRAM and
+// logic models derive their timing and energy analytically. The absolute
+// values are calibrated against every number the paper text reports (see
+// esam/tech/calibration.hpp); the *scaling* with array size, port count and
+// voltage comes from the physics (RC delays, CV^2 energies).
+#pragma once
+
+#include "esam/util/rng.hpp"
+#include "esam/util/units.hpp"
+
+namespace esam::tech {
+
+using util::Area;
+using util::Capacitance;
+using util::Current;
+using util::Energy;
+using util::Power;
+using util::Resistance;
+using util::Time;
+using util::Voltage;
+
+/// Electrical description of a logic/SRAM process node.
+struct TechnologyParams {
+  /// Node name for reports, e.g. "IMEC 3nm FinFET".
+  const char* name = "";
+
+  /// Nominal supply (paper: 700 mV).
+  Voltage vdd;
+  /// Default precharge voltage of the decoupled single-ended read ports
+  /// (paper: 500 mV selected from the Fig. 7 trade-off).
+  Voltage vprech_nominal;
+  /// NMOS/PMOS threshold magnitude used in the saturation-current model.
+  Voltage vth;
+
+  /// Minimum-width wire resistance per micron (local metal).
+  Resistance wire_res_per_um;
+  /// Wire capacitance per micron (local metal, incl. coupling).
+  Capacitance wire_cap_per_um;
+
+  /// Effective on-resistance of a single-fin pull-down at nominal VDD.
+  Resistance device_on_res;
+  /// Gate capacitance of a single-fin transistor.
+  Capacitance gate_cap;
+  /// Drain-diffusion capacitance contributed per bitline contact.
+  Capacitance diffusion_cap;
+
+  /// Delay of a fanout-of-4 inverter (logic delay quantum).
+  Time fo4_delay;
+  /// Switched capacitance of a minimum inverter (for logic energy).
+  Capacitance min_inverter_cap;
+
+  /// Static leakage of one 6T bitcell at nominal VDD, worst corner.
+  Power cell_leakage;
+  /// Static leakage per logic gate-equivalent (arbiter/neuron logic).
+  Power gate_leakage;
+
+  /// Velocity-saturation exponent of the I_on ~ (Vgs - Vth)^alpha model.
+  double sat_alpha = 1.3;
+
+  /// Saturation-current-derived effective resistance of a device whose gate
+  /// overdrive is (vgs - vth), relative to `device_on_res` at nominal VDD.
+  /// Used by the precharge model: lower Vprech means a weaker precharge
+  /// device, which is why 400 mV precharging is disproportionately slow
+  /// (Fig. 7 discussion).
+  [[nodiscard]] Resistance effective_res(Voltage vgs) const;
+};
+
+/// The calibrated 3 nm FinFET node used across the reproduction.
+[[nodiscard]] const TechnologyParams& imec3nm();
+
+/// Process-variation sampling (paper Table 1: "+-3 sigma", worst-case
+/// cell/row/column). Draws one die/macro instance: device strength, wire
+/// resistance and threshold voltage receive correlated lognormal/normal
+/// perturbations of relative magnitude `sigma_fraction` per sigma. The
+/// calibrated nominal models represent the paper's *worst-case* corner, so
+/// typical instances come out faster/stronger; the Monte-Carlo bench
+/// (bench_mc_variation) quantifies the spread and the timing yield.
+struct VariationSample {
+  double device_res_mult = 1.0;
+  double wire_res_mult = 1.0;
+  double vth_shift_mv = 0.0;
+  double leakage_mult = 1.0;
+};
+
+/// Samples one instance (deterministic in `rng`).
+VariationSample sample_variation(util::Rng& rng, double sigma_fraction = 0.04);
+
+/// Applies a sample to a node descriptor.
+TechnologyParams apply_variation(const TechnologyParams& nominal,
+                                 const VariationSample& sample);
+
+/// Low-power operating point of the same node (paper, Table 3 discussion):
+/// "For applications that have lower throughput demands, a lower VDD, lower
+/// clock frequency, and HVT transistors can be utilized to significantly
+/// reduce power consumption, while maintaining similar energy/Inference."
+/// VDD 500 mV, HVT devices (higher Vth, ~8x lower leakage, slower), scaled
+/// precharge rail. Pair with a clock derate (see arch::SystemConfig).
+[[nodiscard]] const TechnologyParams& imec3nm_low_power();
+
+}  // namespace esam::tech

@@ -1,0 +1,44 @@
+// Distributed-RC interconnect model (Elmore delay).
+//
+// Bitlines, wordlines and the inter-tile spike fabric are modelled as
+// distributed RC lines driven by a lumped driver resistance. The multiport
+// cells narrow some wires to fit extra tracks in the same metal layer (the
+// paper: "the WL wire in the proposed cells is narrower and thus more
+// resistive, which is necessary due to the new RBL0-RBL3 that have to be
+// routed in the same metal layer"), captured by a width factor that scales
+// resistance.
+#pragma once
+
+#include "esam/tech/technology.hpp"
+#include "esam/util/units.hpp"
+
+namespace esam::tech {
+
+/// One routed wire segment with optional width derating.
+class Wire {
+ public:
+  /// `length_um`: routed length in microns. `width_factor`: relative wire
+  /// width vs minimum (0.5 = half-width wire, doubling the resistance);
+  /// capacitance is treated as width-independent (sidewall dominated at
+  /// advanced nodes).
+  Wire(const TechnologyParams& tech, double length_um, double width_factor = 1.0);
+
+  [[nodiscard]] Resistance resistance() const { return res_; }
+  [[nodiscard]] Capacitance capacitance() const { return cap_; }
+  [[nodiscard]] double length_um() const { return length_um_; }
+
+  /// 50 % delay of a step launched through `driver` into this distributed
+  /// line with `load` at the far end: 0.69 R_drv (C_w + C_L) +
+  /// 0.38 R_w C_w + 0.69 R_w C_L.
+  [[nodiscard]] Time elmore_delay(Resistance driver, Capacitance load) const;
+
+  /// Energy for one full-swing transition of the wire plus load at `v`.
+  [[nodiscard]] Energy switching_energy(Voltage v, Capacitance load) const;
+
+ private:
+  double length_um_;
+  Resistance res_;
+  Capacitance cap_;
+};
+
+}  // namespace esam::tech

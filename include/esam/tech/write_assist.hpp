@@ -1,0 +1,52 @@
+// Negative-Bitline (NBL) write-assist model.
+//
+// At resistance-dominated nodes the 6T write margin collapses for long
+// bitlines, so the complementary bitline is driven below VSS by VWD during a
+// write (paper ref [19]). The required |VWD| grows with bitline parasitics
+// (array rows) and with the extra parasitics of added read ports. The paper
+// rules that a design needing VWD < -400 mV is non-yielding, which restricts
+// all ESAM arrays to at most 128 rows and 128 columns.
+//
+// This model reproduces that rule: VWD_required is an affine-in-parasitics
+// curve fitted so that (a) every cell variant is valid at 128 rows, the
+// 4-port cell only barely, and (b) every variant is invalid at 256 rows.
+#pragma once
+
+#include <cstddef>
+
+#include "esam/tech/technology.hpp"
+#include "esam/util/units.hpp"
+
+namespace esam::tech {
+
+/// Result of a write-assist feasibility query.
+struct WriteAssistResult {
+  /// Bitline underdrive the write driver must apply (negative voltage).
+  Voltage required_vwd;
+  /// True when required_vwd >= -400 mV (yield rule from [19]).
+  bool yielding = false;
+};
+
+/// Computes the required negative-bitline voltage for a write into an array
+/// with `rows` cells per bitline and a cell with `read_ports` decoupled
+/// read ports, and applies the -400 mV yield criterion.
+class WriteAssistModel {
+ public:
+  explicit WriteAssistModel(const TechnologyParams& tech);
+
+  [[nodiscard]] WriteAssistResult evaluate(std::size_t rows,
+                                           std::size_t read_ports) const;
+
+  /// Largest power-of-two row count that still yields for `read_ports`.
+  [[nodiscard]] std::size_t max_valid_rows(std::size_t read_ports) const;
+
+  /// Extra write energy drawn by the underdrive: the complementary bitline
+  /// swings VDD + |VWD| instead of VDD, so energy scales with the square of
+  /// the total swing.
+  [[nodiscard]] double energy_multiplier(Voltage vwd) const;
+
+ private:
+  const TechnologyParams* tech_;
+};
+
+}  // namespace esam::tech

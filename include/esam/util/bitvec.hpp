@@ -1,0 +1,110 @@
+// Dynamic fixed-width bit vector used throughout ESAM for spike request
+// vectors, SRAM rows/columns, grant vectors and binary activations.
+//
+// Unlike std::vector<bool> it exposes word-level access, fast popcount /
+// find-first, and set-bit iteration, which the arbiter and simulator loops
+// rely on. Width is fixed at construction (hardware vectors do not resize).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace esam::util {
+
+/// Fixed-width vector of bits with word-parallel operations.
+/// Bit 0 is the leftmost/highest-priority position in arbiter contexts;
+/// the class itself is position-agnostic.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Creates an all-zero vector of `size` bits.
+  explicit BitVec(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  /// Creates a vector from a string of '0'/'1' characters, index 0 first.
+  static BitVec from_string(const std::string& s);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    check_index(i);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i, bool value = true) {
+    check_index(i);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void reset(std::size_t i) { set(i, false); }
+
+  /// Sets every bit to zero.
+  void clear();
+
+  /// Sets every bit to one.
+  void fill();
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+
+  [[nodiscard]] bool any() const;
+  [[nodiscard]] bool none() const { return !any(); }
+
+  /// Index of the lowest set bit, or `size()` if none.
+  [[nodiscard]] std::size_t find_first() const;
+
+  /// Index of the lowest set bit strictly greater than `from`, or `size()`.
+  [[nodiscard]] std::size_t find_next(std::size_t from) const;
+
+  /// Indices of all set bits in increasing order.
+  [[nodiscard]] std::vector<std::size_t> set_bits() const;
+
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec operator^(const BitVec& o) const;
+  /// Bitwise complement within the vector's width.
+  BitVec operator~() const;
+
+  BitVec& operator&=(const BitVec& o);
+  BitVec& operator|=(const BitVec& o);
+  BitVec& operator^=(const BitVec& o);
+
+  bool operator==(const BitVec& o) const = default;
+
+  /// Renders as a '0'/'1' string, index 0 first.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Raw word storage (little-endian bit order within each word).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void check_index(std::size_t i) const {
+    if (i >= size_) {
+      throw std::out_of_range("BitVec index " + std::to_string(i) +
+                              " out of range for size " + std::to_string(size_));
+    }
+  }
+  void check_same_size(const BitVec& o) const {
+    if (o.size_ != size_) {
+      throw std::invalid_argument("BitVec size mismatch: " +
+                                  std::to_string(size_) + " vs " +
+                                  std::to_string(o.size_));
+    }
+  }
+  /// Zeroes bits beyond `size_` in the last word (kept as invariant).
+  void trim();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace esam::util

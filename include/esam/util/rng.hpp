@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for all stochastic parts of
+// the reproduction (synthetic data, weight init, training shuffles, STDP).
+//
+// A single xoshiro256** engine keeps results bit-identical across platforms
+// (std::mt19937 distributions are implementation-defined, so we implement the
+// few distributions we need ourselves).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace esam::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Deterministic across platforms, 2^256-1 period, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the stream; the same seed always yields the same sequence.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); n must be > 0. Unbiased (rejection sampling).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child stream (for per-component seeding).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace esam::util

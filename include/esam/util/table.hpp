@@ -1,0 +1,52 @@
+// Console table rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables/figures as an
+// aligned text table (plus optional CSV for plotting), so the formatting
+// lives in one place.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace esam::util {
+
+/// Column-aligned text table with a title, header row and footnotes.
+/// Cells are strings; numeric formatting is the caller's concern (see fmt()).
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row (defines the column count).
+  Table& header(std::vector<std::string> cells);
+
+  /// Appends a data row; must match the header's column count.
+  Table& row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator between data rows.
+  Table& separator();
+
+  /// Appends a footnote line printed under the table.
+  Table& note(std::string text);
+
+  /// Renders the table with box-drawing rules.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders rows as CSV (header first, no title/notes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Convenience: render() to stdout.
+  void print() const;
+
+ private:
+  static constexpr const char* kSeparatorMarker = "\x01--";
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// printf-style helper returning std::string ("%.3g", "%.2f x", ...).
+std::string fmt(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace esam::util

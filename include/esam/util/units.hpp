@@ -1,0 +1,194 @@
+// Strongly-typed physical quantities for circuit/architecture modelling.
+//
+// Every value that crosses a module boundary in ESAM carries its dimension in
+// the type system (Time, Energy, Power, ...) so that a picosecond can never be
+// added to a picojoule and unit conversions happen in exactly one place.
+// Internally each quantity stores its canonical SI base value as a double
+// (seconds, joules, watts, volts, farads, ohms, hertz, square metres).
+//
+// Only the dimensional combinations the simulator actually needs are defined
+// (Energy / Time = Power, V^2 * C = Energy, R * C = Time, ...); this is a
+// deliberately small units library, not a general-purpose one.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace esam::util {
+
+/// Dimension-tagged scalar. `Tag` is an empty struct naming the dimension.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+
+  /// Constructs from the canonical base unit (SI).
+  static constexpr Quantity from_base(double base) { return Quantity(base); }
+
+  /// Canonical base-unit value (seconds, joules, ...).
+  [[nodiscard]] constexpr double base() const { return v_; }
+
+  constexpr Quantity operator+(Quantity o) const { return Quantity(v_ + o.v_); }
+  constexpr Quantity operator-(Quantity o) const { return Quantity(v_ - o.v_); }
+  constexpr Quantity operator-() const { return Quantity(-v_); }
+  constexpr Quantity operator*(double s) const { return Quantity(v_ * s); }
+  constexpr Quantity operator/(double s) const { return Quantity(v_ / s); }
+  /// Dimensionless ratio of two like quantities.
+  constexpr double operator/(Quantity o) const { return v_ / o.v_; }
+
+  constexpr Quantity& operator+=(Quantity o) { v_ += o.v_; return *this; }
+  constexpr Quantity& operator-=(Quantity o) { v_ -= o.v_; return *this; }
+  constexpr Quantity& operator*=(double s) { v_ *= s; return *this; }
+  constexpr Quantity& operator/=(double s) { v_ /= s; return *this; }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+ private:
+  explicit constexpr Quantity(double base) : v_(base) {}
+  double v_ = 0.0;
+};
+
+template <class Tag>
+constexpr Quantity<Tag> operator*(double s, Quantity<Tag> q) { return q * s; }
+
+struct TimeTag {};
+struct EnergyTag {};
+struct PowerTag {};
+struct VoltageTag {};
+struct CurrentTag {};
+struct CapacitanceTag {};
+struct ResistanceTag {};
+struct FrequencyTag {};
+struct AreaTag {};
+
+using Time = Quantity<TimeTag>;
+using Energy = Quantity<EnergyTag>;
+using Power = Quantity<PowerTag>;
+using Voltage = Quantity<VoltageTag>;
+using Current = Quantity<CurrentTag>;
+using Capacitance = Quantity<CapacitanceTag>;
+using Resistance = Quantity<ResistanceTag>;
+using Frequency = Quantity<FrequencyTag>;
+using Area = Quantity<AreaTag>;
+
+// --- named unit constructors -------------------------------------------------
+
+constexpr Time seconds(double v) { return Time::from_base(v); }
+constexpr Time milliseconds(double v) { return Time::from_base(v * 1e-3); }
+constexpr Time microseconds(double v) { return Time::from_base(v * 1e-6); }
+constexpr Time nanoseconds(double v) { return Time::from_base(v * 1e-9); }
+constexpr Time picoseconds(double v) { return Time::from_base(v * 1e-12); }
+
+constexpr Energy joules(double v) { return Energy::from_base(v); }
+constexpr Energy millijoules(double v) { return Energy::from_base(v * 1e-3); }
+constexpr Energy microjoules(double v) { return Energy::from_base(v * 1e-6); }
+constexpr Energy nanojoules(double v) { return Energy::from_base(v * 1e-9); }
+constexpr Energy picojoules(double v) { return Energy::from_base(v * 1e-12); }
+constexpr Energy femtojoules(double v) { return Energy::from_base(v * 1e-15); }
+constexpr Energy attojoules(double v) { return Energy::from_base(v * 1e-18); }
+
+constexpr Power watts(double v) { return Power::from_base(v); }
+constexpr Power milliwatts(double v) { return Power::from_base(v * 1e-3); }
+constexpr Power microwatts(double v) { return Power::from_base(v * 1e-6); }
+constexpr Power nanowatts(double v) { return Power::from_base(v * 1e-9); }
+
+constexpr Voltage volts(double v) { return Voltage::from_base(v); }
+constexpr Voltage millivolts(double v) { return Voltage::from_base(v * 1e-3); }
+
+constexpr Current amperes(double v) { return Current::from_base(v); }
+constexpr Current microamperes(double v) { return Current::from_base(v * 1e-6); }
+constexpr Current nanoamperes(double v) { return Current::from_base(v * 1e-9); }
+
+constexpr Capacitance farads(double v) { return Capacitance::from_base(v); }
+constexpr Capacitance picofarads(double v) { return Capacitance::from_base(v * 1e-12); }
+constexpr Capacitance femtofarads(double v) { return Capacitance::from_base(v * 1e-15); }
+constexpr Capacitance attofarads(double v) { return Capacitance::from_base(v * 1e-18); }
+
+constexpr Resistance ohms(double v) { return Resistance::from_base(v); }
+constexpr Resistance kiloohms(double v) { return Resistance::from_base(v * 1e3); }
+
+constexpr Frequency hertz(double v) { return Frequency::from_base(v); }
+constexpr Frequency kilohertz(double v) { return Frequency::from_base(v * 1e3); }
+constexpr Frequency megahertz(double v) { return Frequency::from_base(v * 1e6); }
+constexpr Frequency gigahertz(double v) { return Frequency::from_base(v * 1e9); }
+
+constexpr Area square_metres(double v) { return Area::from_base(v); }
+constexpr Area square_microns(double v) { return Area::from_base(v * 1e-12); }
+constexpr Area square_millimetres(double v) { return Area::from_base(v * 1e-6); }
+
+// --- named unit accessors ----------------------------------------------------
+
+constexpr double in_seconds(Time t) { return t.base(); }
+constexpr double in_milliseconds(Time t) { return t.base() * 1e3; }
+constexpr double in_microseconds(Time t) { return t.base() * 1e6; }
+constexpr double in_nanoseconds(Time t) { return t.base() * 1e9; }
+constexpr double in_picoseconds(Time t) { return t.base() * 1e12; }
+
+constexpr double in_joules(Energy e) { return e.base(); }
+constexpr double in_nanojoules(Energy e) { return e.base() * 1e9; }
+constexpr double in_picojoules(Energy e) { return e.base() * 1e12; }
+constexpr double in_femtojoules(Energy e) { return e.base() * 1e15; }
+
+constexpr double in_watts(Power p) { return p.base(); }
+constexpr double in_milliwatts(Power p) { return p.base() * 1e3; }
+constexpr double in_microwatts(Power p) { return p.base() * 1e6; }
+constexpr double in_nanowatts(Power p) { return p.base() * 1e9; }
+
+constexpr double in_volts(Voltage v) { return v.base(); }
+constexpr double in_millivolts(Voltage v) { return v.base() * 1e3; }
+
+constexpr double in_femtofarads(Capacitance c) { return c.base() * 1e15; }
+constexpr double in_attofarads(Capacitance c) { return c.base() * 1e18; }
+
+constexpr double in_ohms(Resistance r) { return r.base(); }
+constexpr double in_kiloohms(Resistance r) { return r.base() * 1e-3; }
+
+constexpr double in_hertz(Frequency f) { return f.base(); }
+constexpr double in_megahertz(Frequency f) { return f.base() * 1e-6; }
+constexpr double in_gigahertz(Frequency f) { return f.base() * 1e-9; }
+
+constexpr double in_square_microns(Area a) { return a.base() * 1e12; }
+constexpr double in_square_millimetres(Area a) { return a.base() * 1e6; }
+
+// --- dimensional algebra -----------------------------------------------------
+
+/// P = E / t
+constexpr Power operator/(Energy e, Time t) { return watts(e.base() / t.base()); }
+/// E = P * t
+constexpr Energy operator*(Power p, Time t) { return joules(p.base() * t.base()); }
+constexpr Energy operator*(Time t, Power p) { return p * t; }
+/// tau = R * C
+constexpr Time operator*(Resistance r, Capacitance c) { return seconds(r.base() * c.base()); }
+constexpr Time operator*(Capacitance c, Resistance r) { return r * c; }
+/// f = 1 / t
+constexpr Frequency inverse(Time t) { return hertz(1.0 / t.base()); }
+/// t = 1 / f
+constexpr Time period(Frequency f) { return seconds(1.0 / f.base()); }
+/// Q = C * V ; switching charge-transfer energy drawn from a supply at `v`:
+/// E = C * V_swing * V_supply (equals C*V^2 for full-rail swing).
+constexpr Energy switching_energy(Capacitance c, Voltage swing, Voltage supply) {
+  return joules(c.base() * swing.base() * supply.base());
+}
+/// Energy stored on a capacitor: E = 1/2 C V^2.
+constexpr Energy stored_energy(Capacitance c, Voltage v) {
+  return joules(0.5 * c.base() * v.base() * v.base());
+}
+/// I = V / R
+constexpr Current operator/(Voltage v, Resistance r) { return amperes(v.base() / r.base()); }
+/// P = V * I
+constexpr Power operator*(Voltage v, Current i) { return watts(v.base() * i.base()); }
+
+// --- formatting --------------------------------------------------------------
+
+/// Human-readable rendering with an auto-selected engineering prefix,
+/// e.g. "1.23 ns", "607 pJ", "29.0 mW". Three significant digits.
+std::string to_string(Time t);
+std::string to_string(Energy e);
+std::string to_string(Power p);
+std::string to_string(Voltage v);
+std::string to_string(Frequency f);
+std::string to_string(Area a);
+
+}  // namespace esam::util

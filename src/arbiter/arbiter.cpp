@@ -1,0 +1,68 @@
+#include "esam/arbiter/arbiter.hpp"
+
+#include <stdexcept>
+
+namespace esam::arbiter {
+
+MultiPortArbiter::MultiPortArbiter(std::size_t width, std::size_t ports,
+                                   EncoderTopology topology,
+                                   std::size_t base_width, ArbiterPolicy policy)
+    : encoder_(width, topology, base_width),
+      ports_(ports),
+      policy_(policy),
+      pending_(width) {
+  if (ports == 0) throw std::invalid_argument("MultiPortArbiter: ports must be > 0");
+}
+
+void MultiPortArbiter::request(const BitVec& spikes) {
+  pending_ |= spikes;
+}
+
+void MultiPortArbiter::request(std::size_t row) {
+  pending_.set(row);
+}
+
+GrantSet MultiPortArbiter::arbitrate() {
+  GrantSet out;
+  out.rows.reserve(ports_);
+  if (policy_ == ArbiterPolicy::kFixedPriority) {
+    BitVec working = pending_;
+    for (std::size_t port = 0; port < ports_; ++port) {
+      const EncodeResult enc = encoder_.encode(working);
+      if (enc.no_request) break;
+      out.rows.push_back(enc.grant_index);
+      working = enc.remaining;
+    }
+    pending_ = working;
+  } else {
+    // Round robin: a rotate stage presents the vector to the same encoder
+    // starting at rr_start_; functionally, scan with wrap-around.
+    const std::size_t w = width();
+    std::size_t scanned = 0;
+    std::size_t idx = rr_start_ % w;
+    while (out.rows.size() < ports_ && scanned < w) {
+      if (pending_.test(idx)) {
+        out.rows.push_back(idx);
+        pending_.reset(idx);
+        rr_start_ = (idx + 1) % w;
+      }
+      idx = (idx + 1) % w;
+      ++scanned;
+    }
+  }
+  out.valid_ports = out.rows.size();
+  out.r_empty_after = pending_.none();
+  return out;
+}
+
+std::size_t MultiPortArbiter::drain_cycles(std::size_t spikes) const {
+  if (spikes == 0) return 0;
+  return (spikes + ports_ - 1) / ports_;
+}
+
+void MultiPortArbiter::reset() {
+  pending_.clear();
+  rr_start_ = 0;
+}
+
+}  // namespace esam::arbiter

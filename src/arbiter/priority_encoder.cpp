@@ -1,0 +1,153 @@
+#include "esam/arbiter/priority_encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esam::arbiter {
+namespace {
+
+/// Per-bit ripple delay of the s[n] chain in the Fig. 4(c) subblock.
+constexpr double kRipplePsPerBit = 8.2;
+/// Added delay per cascaded 1-port stage (grant masking wavefront).
+constexpr double kCascadePs = 14.0;
+/// Request-register clock-to-Q plus grant-output launch.
+constexpr double kIoPs = 20.0;
+/// Grant qualification of a base block by the higher-level encoder.
+constexpr double kQualifyFo4 = 1.0;
+/// Per-port re-evaluation of a tree stage: the masked request can empty a
+/// block, so the block-any OR tree and the top encoder re-settle.
+constexpr double kAnyTreeFo4PerLevel = 0.4;
+/// Only the wavefront tail of the top encoder re-ripples per port; the
+/// block-local chains are already settled.
+constexpr double kPortBlockRippleFraction = 0.5;
+
+/// Gate-equivalents of one Fig. 4(c) subblock.
+constexpr double kSubblockGates = 6.0;
+/// Gate-equivalents per request-register bit (flop + input mux).
+constexpr double kRegisterGatesPerBit = 1.6;
+/// Per-bit grant-qualification gates added by the tree topology.
+constexpr double kTreeQualifyGatesPerBit = 0.33;
+/// Fraction of arbiter gates toggling in a typical cycle.
+constexpr double kActivity = 0.15;
+
+}  // namespace
+
+PriorityEncoder::PriorityEncoder(std::size_t width, EncoderTopology topology,
+                                 std::size_t base_width)
+    : width_(width), topology_(topology), base_width_(base_width) {
+  if (width == 0) throw std::invalid_argument("PriorityEncoder: zero width");
+  if (base_width == 0) {
+    throw std::invalid_argument("PriorityEncoder: zero base width");
+  }
+}
+
+EncodeResult PriorityEncoder::encode(const BitVec& requests) const {
+  if (requests.size() != width_) {
+    throw std::invalid_argument("PriorityEncoder::encode: width mismatch");
+  }
+  EncodeResult out;
+  out.grant = BitVec(width_);
+  out.remaining = requests;
+
+  std::size_t idx = width_;
+  if (topology_ == EncoderTopology::kFlat) {
+    idx = requests.find_first();
+  } else {
+    // Structural tree evaluation: base blocks raise an "any" flag; the
+    // higher-level encoder picks the first non-empty block; the winning base
+    // block's internal chain picks the bit.
+    const std::size_t blocks = (width_ + base_width_ - 1) / base_width_;
+    for (std::size_t b = 0; b < blocks && idx == width_; ++b) {
+      const std::size_t lo = b * base_width_;
+      const std::size_t hi = std::min(lo + base_width_, width_);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (requests.test(i)) {
+          idx = i;
+          break;
+        }
+      }
+    }
+  }
+
+  if (idx == width_) {
+    out.no_request = true;
+    out.grant_index = width_;
+    return out;
+  }
+  out.grant.set(idx);
+  out.remaining.reset(idx);
+  out.no_request = false;
+  out.grant_index = idx;
+  return out;
+}
+
+ArbiterTimingModel::ArbiterTimingModel(const tech::TechnologyParams& tech,
+                                       std::size_t width, std::size_t ports,
+                                       EncoderTopology topology,
+                                       std::size_t base_width)
+    : tech_(&tech),
+      width_(width),
+      ports_(ports),
+      topology_(topology),
+      base_width_(std::min(base_width, width)) {
+  if (width == 0 || ports == 0) {
+    throw std::invalid_argument("ArbiterTimingModel: width/ports must be > 0");
+  }
+}
+
+Time ArbiterTimingModel::critical_path() const {
+  const double w = static_cast<double>(width_);
+  const double p = static_cast<double>(ports_);
+  const double fo4 = util::in_picoseconds(tech_->fo4_delay);
+  if (topology_ == EncoderTopology::kFlat) {
+    // One full-width ripple; subsequent port stages ride the wavefront and
+    // only add the masking delay.
+    return util::picoseconds(w * kRipplePsPerBit + p * kCascadePs + kIoPs);
+  }
+  const double b = static_cast<double>(base_width_);
+  const double blocks = std::ceil(w / b);
+  const double any_levels = std::max(1.0, std::log2(b));
+  // Base blocks ripple once in parallel; every port stage re-settles the
+  // block-any tree, the top encoder and the grant qualification.
+  const double per_port = any_levels * kAnyTreeFo4PerLevel * fo4 +
+                          blocks * kRipplePsPerBit * kPortBlockRippleFraction +
+                          kQualifyFo4 * fo4;
+  return util::picoseconds(b * kRipplePsPerBit + p * (per_port + kCascadePs) +
+                           kIoPs);
+}
+
+Area ArbiterTimingModel::area() const {
+  const double w = static_cast<double>(width_);
+  const double p = static_cast<double>(ports_);
+  double gates = w * p * kSubblockGates + w * kRegisterGatesPerBit;
+  if (topology_ == EncoderTopology::kTree) {
+    const double blocks = std::ceil(w / static_cast<double>(base_width_));
+    gates += blocks * p * kSubblockGates + w * p * kTreeQualifyGatesPerBit;
+  }
+  // NAND2-equivalent footprint: ~16x the min inverter input cap worth of
+  // silicon; expressed directly as a per-gate area.
+  constexpr double kGateAreaUm2 = 0.055;
+  return util::square_microns(gates * kGateAreaUm2);
+}
+
+Energy ArbiterTimingModel::cycle_energy(std::size_t pending,
+                                        std::size_t grants) const {
+  const double w = static_cast<double>(width_);
+  const double p = static_cast<double>(ports_);
+  const double vdd = util::in_volts(tech_->vdd);
+  const double cap =
+      util::in_femtofarads(tech_->min_inverter_cap) * 1e-15 * 4.0;  // per gate
+  const double switched =
+      (w * p * kSubblockGates * kActivity) +
+      static_cast<double>(pending) * 2.0 + static_cast<double>(grants) * 6.0;
+  return util::joules(switched * cap * vdd * vdd);
+}
+
+util::Power ArbiterTimingModel::leakage() const {
+  const double w = static_cast<double>(width_);
+  const double p = static_cast<double>(ports_);
+  return tech_->gate_leakage * (w * p * kSubblockGates * 0.2);
+}
+
+}  // namespace esam::arbiter

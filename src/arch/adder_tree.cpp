@@ -1,0 +1,77 @@
+#include "esam/arch/adder_tree.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "esam/tech/calibration.hpp"
+
+namespace esam::arch {
+namespace {
+
+/// Gate-equivalents of a one-bit full adder (mirror adder).
+constexpr double kFullAdderGates = 4.5;
+/// Switching activity of the tree during one MAC.
+constexpr double kTreeActivity = 0.4;
+/// FO4 per adder level (carry path of one FA).
+constexpr double kFo4PerLevel = 1.6;
+/// Cell read contribution before the tree (local bit-read + XNOR mask).
+constexpr double kReadFo4 = 8.0;
+constexpr double kGateAreaUm2 = 0.055;
+
+}  // namespace
+
+AdderTreeArrayModel::AdderTreeArrayModel(const tech::TechnologyParams& tech,
+                                         std::size_t rows, std::size_t cols)
+    : tech_(&tech), rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("AdderTreeArrayModel: empty geometry");
+  }
+}
+
+std::size_t AdderTreeArrayModel::tree_levels() const {
+  return static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(rows_))));
+}
+
+util::Time AdderTreeArrayModel::clock_period() const {
+  const double fo4 = util::in_picoseconds(tech_->fo4_delay);
+  const double setup_ps = 30.0;
+  return util::picoseconds(
+      kReadFo4 * fo4 +
+      static_cast<double>(tree_levels()) * kFo4PerLevel * fo4 + setup_ps);
+}
+
+util::Energy AdderTreeArrayModel::mac_energy() const {
+  // Every cell feeds an XNOR + its share of the tree, every access: there is
+  // no event-driven gating, so the energy is dense in rows x cols.
+  const double vdd = util::in_volts(tech_->vdd);
+  const double gate_cap =
+      util::in_femtofarads(tech_->min_inverter_cap) * 1e-15 * 4.0;
+  const double adders_per_col = static_cast<double>(rows_ - 1);
+  const double switched_gates =
+      static_cast<double>(cols_) *
+      (static_cast<double>(rows_) * 1.5 /* bit read + XNOR */ +
+       adders_per_col * kFullAdderGates * kTreeActivity);
+  return util::joules(switched_gates * gate_cap * vdd * vdd);
+}
+
+util::Area AdderTreeArrayModel::area() const {
+  const double cells =
+      static_cast<double>(rows_ * cols_) * tech::calib::k6TCellAreaUm2;
+  const double tree_gates = static_cast<double>(cols_) *
+                            static_cast<double>(rows_ - 1) * kFullAdderGates;
+  const double periphery = static_cast<double>(cols_) * 6.0;  // drivers etc.
+  return util::square_microns(cells +
+                              (tree_gates + periphery) * kGateAreaUm2);
+}
+
+util::Power AdderTreeArrayModel::leakage() const {
+  const double cells = static_cast<double>(rows_ * cols_);
+  const double tree_gates =
+      static_cast<double>(cols_) * static_cast<double>(rows_ - 1) *
+      kFullAdderGates;
+  return tech_->cell_leakage * cells +
+         tech_->gate_leakage * (tree_gates * 0.2);
+}
+
+}  // namespace esam::arch

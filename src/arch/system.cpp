@@ -1,0 +1,201 @@
+#include "esam/arch/system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esam::arch {
+namespace {
+
+/// Clock capacitance per flop (clock tree + local clock buffers), fitted
+/// jointly with the other per-cycle constants against the 607 pJ/Inf and
+/// 29 mW system anchors.
+constexpr double kClockCapPerFlopFf = 0.85;
+/// Area overhead for clock distribution + inter-tile fabric.
+constexpr double kSystemAreaOverhead = 0.05;
+
+}  // namespace
+
+SystemSimulator::SystemSimulator(const TechnologyParams& tech,
+                                 const nn::SnnNetwork& snn, SystemConfig cfg)
+    : tech_(&tech), cfg_(cfg) {
+  if (snn.layers().empty()) {
+    throw std::invalid_argument("SystemSimulator: empty network");
+  }
+  tiles_.reserve(snn.layers().size());
+  for (std::size_t l = 0; l < snn.layers().size(); ++l) {
+    const nn::SnnLayer& layer = snn.layers()[l];
+    TileConfig tc;
+    tc.inputs = layer.in_features();
+    tc.outputs = layer.out_features();
+    tc.cell = cfg.cell;
+    tc.vprech = cfg.vprech;
+    tc.topology = cfg.topology;
+    tc.max_array_dim = cfg.max_array_dim;
+    tc.col_mux = cfg.col_mux;
+    tc.neuron = cfg.neuron;
+    tc.clock_derate = cfg.clock_derate;
+    tc.is_output_layer = (l + 1 == snn.layers().size());
+    tiles_.emplace_back(tech, tc);
+    tiles_.back().load_layer(layer);
+  }
+}
+
+Time SystemSimulator::clock_period() const {
+  Time worst{};
+  for (const auto& t : tiles_) worst = std::max(worst, t.clock_period());
+  return worst;
+}
+
+util::Frequency SystemSimulator::clock_frequency() const {
+  return util::inverse(clock_period());
+}
+
+AreaBreakdown SystemSimulator::area() const {
+  AreaBreakdown b;
+  for (const auto& t : tiles_) {
+    b.arrays += t.array_area();
+    b.arbiters += t.arbiter_area();
+    b.neurons += t.neuron_area();
+  }
+  b.total = (b.arrays + b.arbiters + b.neurons) * (1.0 + kSystemAreaOverhead);
+  return b;
+}
+
+Power SystemSimulator::total_leakage() const {
+  Power p{};
+  for (const auto& t : tiles_) p += t.leakage();
+  return p;
+}
+
+std::size_t SystemSimulator::flop_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tiles_) n += t.flop_count();
+  return n;
+}
+
+std::size_t SystemSimulator::neuron_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tiles_) n += t.config().outputs;
+  return n;
+}
+
+std::size_t SystemSimulator::synapse_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tiles_) n += t.config().inputs * t.config().outputs;
+  return n;
+}
+
+RunResult SystemSimulator::run(const std::vector<BitVec>& inputs,
+                               const std::vector<std::uint8_t>* labels,
+                               PipelineObserver* observer) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("SystemSimulator::run: no inputs");
+  }
+  if (labels != nullptr && labels->size() != inputs.size()) {
+    throw std::invalid_argument("SystemSimulator::run: label count mismatch");
+  }
+
+  RunResult result;
+  result.predictions.reserve(inputs.size());
+
+  EnergyLedger ledger;
+  for (auto& t : tiles_) t.attach_ledger(&ledger);
+
+  const Time period = clock_period();
+  const Power leak = total_leakage();
+  const double vdd = util::in_volts(tech_->vdd);
+  const Energy clock_per_cycle = util::joules(
+      static_cast<double>(flop_count()) * kClockCapPerFlopFf * 1e-15 * vdd *
+      vdd);
+
+  const std::size_t n = inputs.size();
+  const std::size_t last = tiles_.size() - 1;
+  std::size_t next_input = 0;
+  std::size_t completed = 0;
+  std::uint64_t cycles = 0;
+
+  if (observer != nullptr) observer->begin(tiles_.size(), period);
+  std::vector<TileActivity> activity(tiles_.size());
+  std::vector<std::uint64_t> served_before(tiles_.size(), 0);
+  std::vector<bool> busy_before(tiles_.size(), false);
+  std::vector<bool> ready_before(tiles_.size(), false);
+  // Generous bound: no inference should take more than ~width cycles per
+  // tile; used purely as a hang detector.
+  const std::uint64_t cycle_limit =
+      (static_cast<std::uint64_t>(n) + tiles_.size() + 4) * 4096;
+
+  while (completed < n) {
+    if (++cycles > cycle_limit) {
+      throw std::logic_error("SystemSimulator::run: pipeline deadlock");
+    }
+
+    if (observer != nullptr) {
+      for (std::size_t i = 0; i < tiles_.size(); ++i) {
+        served_before[i] = tiles_[i].stats().spikes_served;
+        busy_before[i] = tiles_[i].busy();
+        ready_before[i] = tiles_[i].output_ready();
+      }
+    }
+
+    for (auto& t : tiles_) t.step();
+
+    if (observer != nullptr) {
+      for (std::size_t i = 0; i < tiles_.size(); ++i) {
+        activity[i].busy = busy_before[i];
+        activity[i].grants = static_cast<std::uint32_t>(
+            tiles_[i].stats().spikes_served - served_before[i]);
+        activity[i].pending =
+            static_cast<std::uint32_t>(tiles_[i].pending_requests());
+        activity[i].fired = !ready_before[i] && tiles_[i].output_ready();
+      }
+      observer->cycle(cycles - 1, activity);
+    }
+
+    // Handoffs, downstream first so a freed tile can accept in the same
+    // cycle it drained.
+    for (std::size_t l = tiles_.size(); l-- > 0;) {
+      if (!tiles_[l].output_ready()) continue;
+      if (l == last) {
+        const std::vector<float> scores = tiles_[l].output_scores();
+        result.predictions.push_back(static_cast<std::size_t>(
+            std::max_element(scores.begin(), scores.end()) - scores.begin()));
+        tiles_[l].consume_output();
+        ++completed;
+      } else if (!tiles_[l + 1].busy() && !tiles_[l + 1].output_ready()) {
+        tiles_[l + 1].start_inference(tiles_[l].take_output());
+      }
+    }
+
+    if (next_input < n && !tiles_[0].busy() && !tiles_[0].output_ready()) {
+      tiles_[0].start_inference(inputs[next_input++]);
+    }
+
+    ledger.add(util::EnergyCategory::kClock, clock_per_cycle);
+    ledger.advance_time_with_leakage(period, leak);
+  }
+
+  for (auto& t : tiles_) t.attach_ledger(nullptr);
+  if (observer != nullptr) observer->end(cycles);
+
+  result.cycles = cycles;
+  result.elapsed = ledger.elapsed();
+  result.ledger = ledger;
+  result.throughput_inf_per_s =
+      static_cast<double>(n) / util::in_seconds(result.elapsed);
+  result.energy_per_inference =
+      ledger.total_energy() / static_cast<double>(n);
+  result.average_power = ledger.average_power();
+  result.avg_cycles_per_inference =
+      static_cast<double>(cycles) / static_cast<double>(n);
+
+  if (labels != nullptr) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (result.predictions[i] == (*labels)[i]) ++correct;
+    }
+    result.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  }
+  return result;
+}
+
+}  // namespace esam::arch

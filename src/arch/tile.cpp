@@ -1,0 +1,303 @@
+#include "esam/arch/tile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "esam/tech/calibration.hpp"
+
+namespace esam::arch {
+namespace {
+
+/// Energy of latching one row bit into the per-port output register that
+/// feeds the neuron array (fitted jointly with the system anchors).
+constexpr double kPortLatchEnergyPerBitFj = 0.75;
+/// Row-decoder + RWL-driver energy per granted read, beyond the array-access
+/// energy the Fig. 7 model accounts for.
+constexpr double kRowDecodeDriveEnergyFj = 35.0;
+/// Macro control / timing-generation energy per array with >= 1 grant in a
+/// cycle.
+constexpr double kMacroControlEnergyFj = 150.0;
+/// Inter-tile binary-pulse fabric: energy per transmitted spike.
+constexpr double kFabricEnergyPerSpikeFj = 6.0;
+
+}  // namespace
+
+Tile::Tile(const TechnologyParams& tech, TileConfig cfg)
+    : tech_(&tech),
+      cfg_(cfg),
+      row_groups_((cfg.inputs + cfg.max_array_dim - 1) / cfg.max_array_dim),
+      col_groups_((cfg.outputs + cfg.max_array_dim - 1) / cfg.max_array_dim),
+      arbiter_model_(tech, cfg.max_array_dim,
+                     std::max<std::size_t>(
+                         sram::BitcellSpec::of(cfg.cell).read_ports, 1),
+                     cfg.topology),
+      neuron_model_(tech, cfg.neuron,
+                    std::max<std::size_t>(
+                        sram::BitcellSpec::of(cfg.cell).read_ports, 1)),
+      output_spikes_(cfg.outputs) {
+  if (cfg_.inputs == 0 || cfg_.outputs == 0) {
+    throw std::invalid_argument("Tile: inputs/outputs must be > 0");
+  }
+  const auto spec = sram::BitcellSpec::of(cfg_.cell);
+  const std::size_t ports = std::max<std::size_t>(spec.read_ports, 1);
+  macros_.reserve(row_groups_ * col_groups_);
+  for (std::size_t rg = 0; rg < row_groups_; ++rg) {
+    for (std::size_t cg = 0; cg < col_groups_; ++cg) {
+      macros_.push_back(std::make_unique<sram::SramMacro>(
+          tech, spec,
+          sram::ArrayGeometry{array_rows(rg), array_cols(cg), cfg_.col_mux},
+          cfg_.vprech));
+    }
+    arbiters_.emplace_back(array_rows(rg), ports, cfg_.topology);
+  }
+  neurons_.assign(cfg_.outputs, neuron::IfNeuron(cfg_.neuron));
+  readout_offsets_.assign(cfg_.outputs, 0.0f);
+}
+
+std::size_t Tile::array_rows(std::size_t row_group) const {
+  const std::size_t begin = row_group * cfg_.max_array_dim;
+  return std::min(cfg_.max_array_dim, cfg_.inputs - begin);
+}
+
+std::size_t Tile::array_cols(std::size_t col_group) const {
+  const std::size_t begin = col_group * cfg_.max_array_dim;
+  return std::min(cfg_.max_array_dim, cfg_.outputs - begin);
+}
+
+void Tile::load_layer(const nn::SnnLayer& layer) {
+  if (layer.in_features() != cfg_.inputs ||
+      layer.out_features() != cfg_.outputs) {
+    throw std::invalid_argument("Tile::load_layer: shape mismatch");
+  }
+  for (std::size_t rg = 0; rg < row_groups_; ++rg) {
+    for (std::size_t cg = 0; cg < col_groups_; ++cg) {
+      sram::SramMacro& m = *macros_[rg * col_groups_ + cg];
+      const std::size_t row0 = rg * cfg_.max_array_dim;
+      const std::size_t col0 = cg * cfg_.max_array_dim;
+      std::vector<BitVec> rows(m.geometry().rows, BitVec(m.geometry().cols));
+      for (std::size_t r = 0; r < m.geometry().rows; ++r) {
+        const BitVec& full_row = layer.weight_rows[row0 + r];
+        for (std::size_t c = 0; c < m.geometry().cols; ++c) {
+          rows[r].set(c, full_row.test(col0 + c));
+        }
+      }
+      m.load(rows);
+    }
+  }
+  for (std::size_t j = 0; j < cfg_.outputs; ++j) {
+    neurons_[j].set_vth(layer.thresholds[j]);
+    readout_offsets_[j] = layer.readout_offsets[j];
+  }
+}
+
+void Tile::attach_ledger(EnergyLedger* ledger) {
+  ledger_ = ledger;
+  for (auto& m : macros_) m->attach_ledger(ledger);
+}
+
+void Tile::start_inference(const BitVec& input_spikes) {
+  if (busy_) throw std::logic_error("Tile::start_inference: tile is busy");
+  if (output_ready_) {
+    throw std::logic_error(
+        "Tile::start_inference: previous output not yet taken");
+  }
+  if (input_spikes.size() != cfg_.inputs) {
+    throw std::invalid_argument("Tile::start_inference: spike width mismatch");
+  }
+  for (std::size_t rg = 0; rg < row_groups_; ++rg) {
+    arbiters_[rg].reset();
+    const std::size_t row0 = rg * cfg_.max_array_dim;
+    for (std::size_t r = 0; r < array_rows(rg); ++r) {
+      if (input_spikes.test(row0 + r)) arbiters_[rg].request(r);
+    }
+  }
+  if (!cfg_.carry_membrane) {
+    for (auto& n : neurons_) n.reset();
+  }
+  busy_ = true;
+  output_ready_ = false;
+  // Fabric cost of receiving the spikes as parallel binary pulses.
+  if (ledger_ != nullptr) {
+    ledger_->add(util::EnergyCategory::kFabric,
+                 util::femtojoules(kFabricEnergyPerSpikeFj *
+                                   static_cast<double>(input_spikes.count())));
+  }
+}
+
+void Tile::step() {
+  if (!busy_) return;
+  ++stats_.busy_cycles;
+
+  // Per-neuron accumulated delta for this cycle.
+  std::vector<std::int32_t> delta(cfg_.outputs, 0);
+  std::size_t total_grants = 0;
+  bool all_empty = true;
+
+  for (std::size_t rg = 0; rg < row_groups_; ++rg) {
+    arbiter::MultiPortArbiter& arb = arbiters_[rg];
+    const std::size_t pending_before = arb.pending();
+    if (pending_before == 0) continue;
+    const arbiter::GrantSet grants = arb.arbitrate();
+    if (ledger_ != nullptr) {
+      ledger_->add(util::EnergyCategory::kArbiter,
+                   arbiter_model_.cycle_energy(pending_before,
+                                               grants.valid_ports));
+    }
+    total_grants += grants.valid_ports;
+    stats_.spikes_served += grants.valid_ports;
+    if (!grants.r_empty_after) all_empty = false;
+
+    for (std::size_t port = 0; port < grants.valid_ports; ++port) {
+      const std::size_t local_row = grants.rows[port];
+      for (std::size_t cg = 0; cg < col_groups_; ++cg) {
+        sram::SramMacro& m = *macros_[rg * col_groups_ + cg];
+        const BitVec row_bits = m.read_row(port, local_row);
+        ++stats_.row_reads;
+        if (ledger_ != nullptr) {
+          // Decoder/driver + port output register, beyond the array access.
+          const double bits = static_cast<double>(m.geometry().cols);
+          ledger_->add(util::EnergyCategory::kSramRead,
+                       util::femtojoules(kRowDecodeDriveEnergyFj +
+                                         kPortLatchEnergyPerBitFj * bits));
+        }
+        const std::size_t col0 = cg * cfg_.max_array_dim;
+        for (std::size_t c = 0; c < m.geometry().cols; ++c) {
+          delta[col0 + c] += row_bits.test(c) ? 1 : -1;
+        }
+      }
+    }
+    if (ledger_ != nullptr && grants.valid_ports > 0) {
+      ledger_->add(util::EnergyCategory::kClock,
+                   util::femtojoules(kMacroControlEnergyFj *
+                                     static_cast<double>(col_groups_)));
+    }
+  }
+
+  if (total_grants > 0) {
+    for (std::size_t j = 0; j < cfg_.outputs; ++j) {
+      neurons_[j].integrate_sum(delta[j]);
+    }
+    if (ledger_ != nullptr) {
+      ledger_->add(util::EnergyCategory::kNeuron,
+                   neuron_model_.accumulate_energy(total_grants) *
+                       static_cast<double>(cfg_.outputs));
+    }
+  }
+
+  if (all_empty) fire_phase();
+}
+
+void Tile::fire_phase() {
+  // R_empty: every neuron compares Vmem >= Vth; firing neurons raise their
+  // request bits and reset.
+  output_spikes_ = BitVec(cfg_.outputs);
+  for (std::size_t j = 0; j < cfg_.outputs; ++j) {
+    if (cfg_.is_output_layer) continue;  // readout tiles expose Vmem instead
+    if (neurons_[j].on_r_empty()) output_spikes_.set(j);
+  }
+  if (ledger_ != nullptr) {
+    ledger_->add(util::EnergyCategory::kNeuron,
+                 neuron_model_.compare_energy() *
+                     static_cast<double>(cfg_.outputs));
+  }
+  busy_ = false;
+  output_ready_ = true;
+  ++stats_.inferences;
+}
+
+BitVec Tile::take_output() {
+  if (!output_ready_) throw std::logic_error("Tile::take_output: no output");
+  if (cfg_.is_output_layer) {
+    throw std::logic_error("Tile::take_output: output layer exposes Vmem");
+  }
+  output_ready_ = false;
+  // Downstream grant clears the request registers.
+  for (auto& n : neurons_) n.grant();
+  return output_spikes_;
+}
+
+std::vector<std::int32_t> Tile::output_vmem() const {
+  std::vector<std::int32_t> v(cfg_.outputs);
+  for (std::size_t j = 0; j < cfg_.outputs; ++j) v[j] = neurons_[j].vmem();
+  return v;
+}
+
+std::vector<float> Tile::output_scores() const {
+  std::vector<float> s(cfg_.outputs);
+  for (std::size_t j = 0; j < cfg_.outputs; ++j) {
+    s[j] = static_cast<float>(neurons_[j].vmem()) - readout_offsets_[j];
+  }
+  return s;
+}
+
+void Tile::consume_output() {
+  if (!output_ready_) throw std::logic_error("Tile::consume_output: no output");
+  output_ready_ = false;
+}
+
+void Tile::reset_membranes() {
+  for (auto& n : neurons_) n.reset();
+}
+
+std::size_t Tile::pending_requests() const {
+  std::size_t n = 0;
+  for (const auto& arb : arbiters_) n += arb.pending();
+  return n;
+}
+
+Time Tile::clock_period() const {
+  const std::size_t idx = sram::index_of(cfg_.cell);
+  const double arb_ns = tech::calib::kTable2ArbiterNs[idx];
+  const double sram_neuron_ns = tech::calib::kTable2SramNeuronNs[idx];
+  return util::nanoseconds(std::max(arb_ns, sram_neuron_ns) *
+                           cfg_.clock_derate);
+}
+
+Area Tile::array_area() const {
+  Area total{};
+  for (const auto& m : macros_) total += m->timing().array_area();
+  return total;
+}
+
+Area Tile::arbiter_area() const {
+  return arbiter_model_.area() * static_cast<double>(row_groups_);
+}
+
+Area Tile::neuron_area() const {
+  return neuron_model_.area_per_neuron() * static_cast<double>(cfg_.outputs);
+}
+
+Area Tile::area() const {
+  return array_area() + arbiter_area() + neuron_area();
+}
+
+Power Tile::leakage() const {
+  Power total{};
+  for (const auto& m : macros_) total += m->timing().leakage();
+  total += arbiter_model_.leakage() * static_cast<double>(row_groups_);
+  total +=
+      neuron_model_.leakage_per_neuron() * static_cast<double>(cfg_.outputs);
+  return total;
+}
+
+std::size_t Tile::flop_count() const {
+  const std::size_t ports =
+      std::max<std::size_t>(sram::BitcellSpec::of(cfg_.cell).read_ports, 1);
+  const std::size_t neuron_bits =
+      cfg_.outputs * (cfg_.neuron.vmem_bits + cfg_.neuron.vth_bits + 2);
+  const std::size_t arbiter_bits = cfg_.inputs;  // request registers
+  // One port-output register per column group per port.
+  const std::size_t port_regs = col_groups_ * cfg_.max_array_dim * ports;
+  return neuron_bits + arbiter_bits + port_regs;
+}
+
+sram::SramMacro& Tile::macro(std::size_t row_group, std::size_t col_group) {
+  return *macros_.at(row_group * col_groups_ + col_group);
+}
+
+const sram::SramMacro& Tile::macro(std::size_t row_group,
+                                   std::size_t col_group) const {
+  return *macros_.at(row_group * col_groups_ + col_group);
+}
+
+}  // namespace esam::arch

@@ -1,0 +1,113 @@
+#include "esam/arch/trace.hpp"
+
+#include <stdexcept>
+
+namespace esam::arch {
+namespace {
+
+/// Signals per tile in declaration order: busy, grants, pending, fire.
+constexpr std::size_t kSignalsPerTile = 4;
+
+}  // namespace
+
+VcdTraceWriter::VcdTraceWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("VcdTraceWriter: cannot open " + path);
+  }
+}
+
+std::string VcdTraceWriter::id_code(std::size_t n) {
+  // Printable identifier alphabet '!'..'~'.
+  std::string code;
+  do {
+    code += static_cast<char>('!' + n % 94);
+    n /= 94;
+  } while (n != 0);
+  return code;
+}
+
+void VcdTraceWriter::begin(std::size_t tiles, util::Time clock_period) {
+  period_ps_ = util::in_picoseconds(clock_period);
+  out_ << "$date ESAM reproduction trace $end\n";
+  out_ << "$version esam-1.0 $end\n";
+  out_ << "$timescale 1ps $end\n";
+  out_ << "$scope module esam $end\n";
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::string base = "tile" + std::to_string(t);
+    out_ << "$var wire 1 " << id_code(t * kSignalsPerTile + 0) << " " << base
+         << "_busy $end\n";
+    out_ << "$var integer 16 " << id_code(t * kSignalsPerTile + 1) << " "
+         << base << "_grants $end\n";
+    out_ << "$var integer 16 " << id_code(t * kSignalsPerTile + 2) << " "
+         << base << "_pending $end\n";
+    out_ << "$var wire 1 " << id_code(t * kSignalsPerTile + 3) << " " << base
+         << "_fire $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  last_.assign(tiles, TileActivity{});
+  started_ = true;
+  // Initial dump: everything idle.
+  emit_sample(0, last_, /*force=*/true);
+}
+
+void VcdTraceWriter::emit_sample(std::uint64_t time_ps,
+                                 const std::vector<TileActivity>& tiles,
+                                 bool force) {
+  bool header_written = false;
+  auto stamp = [&] {
+    if (!header_written) {
+      out_ << '#' << time_ps << '\n';
+      header_written = true;
+    }
+  };
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const TileActivity& now = tiles[t];
+    const TileActivity& prev = last_[t];
+    if (force || now.busy != prev.busy) {
+      stamp();
+      out_ << (now.busy ? '1' : '0') << id_code(t * kSignalsPerTile + 0)
+           << '\n';
+    }
+    if (force || now.grants != prev.grants) {
+      stamp();
+      out_ << "b";
+      for (int bit = 15; bit >= 0; --bit) {
+        out_ << ((now.grants >> bit) & 1u);
+      }
+      out_ << ' ' << id_code(t * kSignalsPerTile + 1) << '\n';
+    }
+    if (force || now.pending != prev.pending) {
+      stamp();
+      out_ << "b";
+      for (int bit = 15; bit >= 0; --bit) {
+        out_ << ((now.pending >> bit) & 1u);
+      }
+      out_ << ' ' << id_code(t * kSignalsPerTile + 2) << '\n';
+    }
+    if (force || now.fired != prev.fired) {
+      stamp();
+      out_ << (now.fired ? '1' : '0') << id_code(t * kSignalsPerTile + 3)
+           << '\n';
+    }
+  }
+  last_ = tiles;
+}
+
+void VcdTraceWriter::cycle(std::uint64_t index,
+                           const std::vector<TileActivity>& tiles) {
+  if (!started_) throw std::logic_error("VcdTraceWriter: begin() not called");
+  emit_sample(static_cast<std::uint64_t>(static_cast<double>(index + 1) *
+                                         period_ps_),
+              tiles, /*force=*/false);
+  ++cycles_;
+}
+
+void VcdTraceWriter::end(std::uint64_t total_cycles) {
+  out_ << '#'
+       << static_cast<std::uint64_t>(static_cast<double>(total_cycles + 1) *
+                                     period_ps_)
+       << '\n';
+  out_.flush();
+}
+
+}  // namespace esam::arch

@@ -1,0 +1,96 @@
+#include "esam/core/esam.hpp"
+
+#include <cstdio>
+
+#include "esam/tech/technology.hpp"
+#include "esam/util/table.hpp"
+
+namespace esam::core {
+
+TrainedModel TrainedModel::create(const ModelConfig& cfg) {
+  TrainedModel out;
+  out.data = data::load_default_split(cfg.n_train, cfg.n_test, cfg.data_seed);
+
+  bool loaded = false;
+  if (!cfg.cache_path.empty()) {
+    nn::BnnNetwork cached;
+    if (nn::BnnNetwork::load(cfg.cache_path, cached) &&
+        cached.shape() == cfg.shape) {
+      out.bnn = std::move(cached);
+      loaded = true;
+      if (cfg.verbose) {
+        std::printf("[esam] loaded cached BNN from %s\n", cfg.cache_path.c_str());
+      }
+    }
+  }
+  if (!loaded) {
+    util::Rng rng(cfg.train.seed);
+    out.bnn = nn::BnnNetwork(cfg.shape, rng);
+    nn::BnnTrainer trainer(out.bnn, cfg.train);
+    if (cfg.verbose) {
+      std::printf("[esam] training BNN %zu samples x %zu epochs on %s data\n",
+                  out.data.train.size(), cfg.train.epochs,
+                  out.data.train.source.c_str());
+    }
+    trainer.fit(out.data.train.bipolar, out.data.train.labels);
+    if (!cfg.cache_path.empty()) out.bnn.save(cfg.cache_path);
+  }
+
+  out.bnn_train_accuracy =
+      out.bnn.accuracy(out.data.train.bipolar, out.data.train.labels);
+  out.bnn_test_accuracy =
+      out.bnn.accuracy(out.data.test.bipolar, out.data.test.labels);
+  out.snn = nn::SnnNetwork::from_bnn(out.bnn);
+  return out;
+}
+
+EsamSystem::EsamSystem(const TrainedModel& model, arch::SystemConfig hw)
+    : model_(&model), sim_(tech::imec3nm(), model.snn, hw) {}
+
+SystemReport EsamSystem::evaluate(std::size_t max_inferences) {
+  const data::PreparedDataset& test = model_->data.test;
+  std::size_t n = test.size();
+  if (max_inferences != 0 && max_inferences < n) n = max_inferences;
+
+  std::vector<util::BitVec> inputs(test.spikes.begin(),
+                                   test.spikes.begin() +
+                                       static_cast<std::ptrdiff_t>(n));
+  std::vector<std::uint8_t> labels(test.labels.begin(),
+                                   test.labels.begin() +
+                                       static_cast<std::ptrdiff_t>(n));
+
+  const arch::RunResult r = sim_.run(inputs, &labels);
+
+  SystemReport rep;
+  rep.cell = std::string(sram::to_string(sim_.config().cell));
+  rep.dataset_source = test.source;
+  rep.clock_mhz = util::in_megahertz(sim_.clock_frequency());
+  rep.throughput_minf_per_s = r.throughput_inf_per_s / 1e6;
+  rep.energy_per_inf_pj = util::in_picojoules(r.energy_per_inference);
+  rep.power_mw = util::in_milliwatts(r.average_power);
+  rep.area_um2 = util::in_square_microns(sim_.area().total);
+  rep.accuracy = r.accuracy;
+  rep.avg_cycles_per_inf = r.avg_cycles_per_inference;
+  rep.neurons = sim_.neuron_count();
+  rep.synapses = sim_.synapse_count();
+  rep.inferences = n;
+  return rep;
+}
+
+void SystemReport::print() const {
+  util::Table t("ESAM system report (" + cell + ", " + dataset_source + ")");
+  t.header({"metric", "value"});
+  t.row({"clock", util::fmt("%.0f MHz", clock_mhz)});
+  t.row({"throughput", util::fmt("%.1f MInf/s", throughput_minf_per_s)});
+  t.row({"energy / inference", util::fmt("%.0f pJ", energy_per_inf_pj)});
+  t.row({"power", util::fmt("%.1f mW", power_mw)});
+  t.row({"area", util::fmt("%.0f um^2", area_um2)});
+  t.row({"accuracy", util::fmt("%.2f %%", accuracy * 100.0)});
+  t.row({"avg cycles / inference", util::fmt("%.1f", avg_cycles_per_inf)});
+  t.row({"neurons", util::fmt("%zu", neurons)});
+  t.row({"synapses", util::fmt("%zu", synapses)});
+  t.row({"inferences evaluated", util::fmt("%zu", inferences)});
+  t.print();
+}
+
+}  // namespace esam::core

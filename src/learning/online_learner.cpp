@@ -1,0 +1,60 @@
+#include "esam/learning/online_learner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esam::learning {
+
+OnlineLearner::OnlineLearner(arch::Tile& tile, StdpConfig cfg)
+    : tile_(&tile), rule_(cfg) {}
+
+void OnlineLearner::reward(std::size_t j, const util::BitVec& pre_spikes) {
+  update_column(j, pre_spikes, /*causal=*/true);
+}
+
+void OnlineLearner::punish(std::size_t j, const util::BitVec& pre_spikes) {
+  update_column(j, pre_spikes, /*causal=*/false);
+}
+
+void OnlineLearner::update_column(std::size_t j,
+                                  const util::BitVec& pre_spikes,
+                                  bool causal) {
+  const arch::TileConfig& cfg = tile_->config();
+  if (j >= cfg.outputs) {
+    throw std::out_of_range("OnlineLearner: post-neuron index out of range");
+  }
+  if (pre_spikes.size() != cfg.inputs) {
+    throw std::invalid_argument("OnlineLearner: pre-spike width mismatch");
+  }
+  const std::size_t cg = j / cfg.max_array_dim;
+  const std::size_t local_col = j % cfg.max_array_dim;
+
+  Time worst_time{};
+  for (std::size_t rg = 0; rg < tile_->row_groups(); ++rg) {
+    sram::SramMacro& m = tile_->macro(rg, cg);
+    const std::size_t rows = m.geometry().rows;
+    const std::size_t row0 = rg * cfg.max_array_dim;
+
+    // Pre-synaptic slice of this row-group.
+    util::BitVec pre(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      pre.set(r, pre_spikes.test(row0 + r));
+    }
+
+    // Column read-modify-write through the RW port (energy posted by the
+    // macro; time from the timing model, parallel across row-groups).
+    const util::BitVec old_weights = m.read_column(local_col);
+    const util::BitVec updated =
+        causal ? rule_.potentiate(old_weights, pre)
+               : rule_.depress(old_weights, pre);
+    m.write_column(local_col, updated);
+
+    const sram::OpProfile cost = m.column_update_cost();
+    worst_time = std::max(worst_time, cost.time);
+    stats_.energy += cost.energy;
+  }
+  stats_.time += worst_time;
+  ++stats_.column_updates;
+}
+
+}  // namespace esam::learning

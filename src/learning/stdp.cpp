@@ -1,0 +1,40 @@
+#include "esam/learning/stdp.hpp"
+
+#include <stdexcept>
+
+namespace esam::learning {
+
+StochasticStdp::StochasticStdp(StdpConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg.p_potentiation < 0.0 || cfg.p_potentiation > 1.0 ||
+      cfg.p_depression < 0.0 || cfg.p_depression > 1.0) {
+    throw std::invalid_argument("StochasticStdp: probabilities must be in [0,1]");
+  }
+}
+
+BitVec StochasticStdp::potentiate(const BitVec& weights,
+                                  const BitVec& pre_spikes) {
+  return apply(weights, pre_spikes, /*causal_sets_one=*/true);
+}
+
+BitVec StochasticStdp::depress(const BitVec& weights,
+                               const BitVec& pre_spikes) {
+  return apply(weights, pre_spikes, /*causal_sets_one=*/false);
+}
+
+BitVec StochasticStdp::apply(const BitVec& weights, const BitVec& pre_spikes,
+                             bool causal_sets_one) {
+  if (weights.size() != pre_spikes.size()) {
+    throw std::invalid_argument("StochasticStdp: width mismatch");
+  }
+  BitVec out = weights;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (pre_spikes.test(i)) {
+      if (rng_.bernoulli(cfg_.p_potentiation)) out.set(i, causal_sets_one);
+    } else {
+      if (rng_.bernoulli(cfg_.p_depression)) out.set(i, !causal_sets_one);
+    }
+  }
+  return out;
+}
+
+}  // namespace esam::learning

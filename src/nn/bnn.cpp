@@ -1,0 +1,316 @@
+#include "esam/nn/bnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace esam::nn {
+namespace {
+
+/// Materializes the binarized weights of a layer (hot loops want a flat
+/// array, not a per-element branch).
+Matrix binarize(const Matrix& latent) {
+  Matrix wb(latent.rows(), latent.cols());
+  const auto& src = latent.flat();
+  auto& dst = wb.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = src[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  return wb;
+}
+
+}  // namespace
+
+float sign_activation(float x) { return x >= 0.0f ? 1.0f : -1.0f; }
+
+BnnLayer::BnnLayer(std::size_t out, std::size_t in, util::Rng& rng) {
+  latent = Matrix(out, in);
+  bias.assign(out, 0.0f);
+  // Small uniform init keeps early sign flips cheap (latent near zero).
+  const float scale = 1.0f / std::sqrt(static_cast<float>(in));
+  for (auto& w : latent.flat()) {
+    w = static_cast<float>(rng.uniform(-scale, scale));
+  }
+}
+
+float BnnLayer::binary_weight(std::size_t out, std::size_t in) const {
+  return latent.at(out, in) >= 0.0f ? 1.0f : -1.0f;
+}
+
+std::vector<float> BnnLayer::preactivate(const std::vector<float>& x) const {
+  const Matrix wb = binarize(latent);
+  std::vector<float> z = wb.multiply(x);
+  for (std::size_t j = 0; j < z.size(); ++j) z[j] += bias[j];
+  return z;
+}
+
+BnnNetwork::BnnNetwork(const std::vector<std::size_t>& shape, util::Rng& rng) {
+  if (shape.size() < 2) {
+    throw std::invalid_argument("BnnNetwork: shape needs >= 2 entries");
+  }
+  layers_.reserve(shape.size() - 1);
+  for (std::size_t l = 0; l + 1 < shape.size(); ++l) {
+    layers_.emplace_back(shape[l + 1], shape[l], rng);
+  }
+}
+
+std::vector<std::size_t> BnnNetwork::shape() const {
+  std::vector<std::size_t> s;
+  if (layers_.empty()) return s;
+  s.push_back(layers_.front().in_features());
+  for (const auto& l : layers_) s.push_back(l.out_features());
+  return s;
+}
+
+std::vector<float> BnnNetwork::scores(const std::vector<float>& x) const {
+  std::vector<float> a = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    std::vector<float> z = layers_[l].preactivate(a);
+    if (l + 1 == layers_.size()) return z;
+    for (auto& v : z) v = sign_activation(v);
+    a = std::move(z);
+  }
+  return a;
+}
+
+std::size_t BnnNetwork::predict(const std::vector<float>& x) const {
+  const std::vector<float> s = scores(x);
+  return static_cast<std::size_t>(
+      std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+std::vector<std::vector<float>> BnnNetwork::forward_trace(
+    const std::vector<float>& x) const {
+  std::vector<std::vector<float>> trace;
+  trace.push_back(x);
+  std::vector<float> a = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    std::vector<float> z = layers_[l].preactivate(a);
+    if (l + 1 < layers_.size()) {
+      for (auto& v : z) v = sign_activation(v);
+    }
+    trace.push_back(z);
+    a = trace.back();
+  }
+  return trace;
+}
+
+double BnnNetwork::accuracy(const std::vector<std::vector<float>>& xs,
+                            const std::vector<std::uint8_t>& ys) const {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("BnnNetwork::accuracy: bad dataset");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (predict(xs[i]) == ys[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(xs.size());
+}
+
+bool BnnNetwork::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::uint64_t magic = 0x45534d42'4e4e0001ULL;  // "ESMBNN" v1
+  const std::uint64_t n_layers = layers_.size();
+  f.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  f.write(reinterpret_cast<const char*>(&n_layers), sizeof n_layers);
+  for (const auto& l : layers_) {
+    const std::uint64_t out = l.out_features();
+    const std::uint64_t in = l.in_features();
+    f.write(reinterpret_cast<const char*>(&out), sizeof out);
+    f.write(reinterpret_cast<const char*>(&in), sizeof in);
+    f.write(reinterpret_cast<const char*>(l.latent.flat().data()),
+            static_cast<std::streamsize>(l.latent.size() * sizeof(float)));
+    f.write(reinterpret_cast<const char*>(l.bias.data()),
+            static_cast<std::streamsize>(l.bias.size() * sizeof(float)));
+  }
+  return f.good();
+}
+
+bool BnnNetwork::load(const std::string& path, BnnNetwork& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint64_t magic = 0, n_layers = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  f.read(reinterpret_cast<char*>(&n_layers), sizeof n_layers);
+  if (!f || magic != 0x45534d42'4e4e0001ULL || n_layers > 64) return false;
+  BnnNetwork net;
+  net.layers_.resize(n_layers);
+  for (auto& l : net.layers_) {
+    std::uint64_t o = 0, i = 0;
+    f.read(reinterpret_cast<char*>(&o), sizeof o);
+    f.read(reinterpret_cast<char*>(&i), sizeof i);
+    if (!f || o == 0 || i == 0 || o > (1u << 20) || i > (1u << 20)) return false;
+    l.latent = Matrix(o, i);
+    l.bias.assign(o, 0.0f);
+    f.read(reinterpret_cast<char*>(l.latent.flat().data()),
+           static_cast<std::streamsize>(l.latent.size() * sizeof(float)));
+    f.read(reinterpret_cast<char*>(l.bias.data()),
+           static_cast<std::streamsize>(l.bias.size() * sizeof(float)));
+    if (!f) return false;
+  }
+  out = std::move(net);
+  return true;
+}
+
+BnnTrainer::BnnTrainer(BnnNetwork& net, TrainConfig cfg)
+    : net_(&net), cfg_(cfg), rng_(cfg.seed) {
+  for (const auto& l : net.layers()) {
+    m_w_.emplace_back(l.out_features(), l.in_features());
+    v_w_.emplace_back(l.out_features(), l.in_features());
+    m_b_.emplace_back(l.out_features(), 0.0f);
+    v_b_.emplace_back(l.out_features(), 0.0f);
+  }
+}
+
+void BnnTrainer::train_batch(const std::vector<std::vector<float>>& xs,
+                             const std::vector<std::uint8_t>& ys,
+                             const std::vector<std::size_t>& idx,
+                             std::size_t begin, std::size_t end,
+                             double& loss_sum) {
+  auto& layers = net_->layers();
+  const std::size_t n_layers = layers.size();
+
+  // Binarized weights reused across the batch.
+  std::vector<Matrix> wb;
+  wb.reserve(n_layers);
+  for (const auto& l : layers) wb.push_back(binarize(l.latent));
+
+  std::vector<Matrix> grad_w;
+  std::vector<std::vector<float>> grad_b;
+  for (const auto& l : layers) {
+    grad_w.emplace_back(l.out_features(), l.in_features());
+    grad_b.emplace_back(l.out_features(), 0.0f);
+  }
+
+  for (std::size_t s = begin; s < end; ++s) {
+    const auto& x = xs[idx[s]];
+    const std::uint8_t label = ys[idx[s]];
+
+    // Forward, keeping pre-activations z and activations a.
+    std::vector<std::vector<float>> a(n_layers + 1);
+    std::vector<std::vector<float>> z(n_layers);
+    a[0] = x;
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      z[l] = wb[l].multiply(a[l]);
+      for (std::size_t j = 0; j < z[l].size(); ++j) z[l][j] += layers[l].bias[j];
+      a[l + 1] = z[l];
+      if (l + 1 < n_layers) {
+        for (auto& v : a[l + 1]) v = sign_activation(v);
+      }
+    }
+
+    // Softmax cross-entropy on the last pre-activations. Binary-weight
+    // logits are integer-scaled sums with magnitudes ~ fan-in, which would
+    // saturate the softmax; a temperature of sqrt(fan_in) restores useful
+    // gradients without changing the argmax (deployment uses raw scores).
+    std::vector<float>& logits = z[n_layers - 1];
+    const float temp =
+        std::sqrt(static_cast<float>(layers.back().in_features()));
+    const float zmax = *std::max_element(logits.begin(), logits.end());
+    double denom = 0.0;
+    for (float v : logits) {
+      denom += std::exp(static_cast<double>((v - zmax) / temp));
+    }
+    const double logp =
+        static_cast<double>((logits[label] - zmax) / temp) - std::log(denom);
+    loss_sum += -logp;
+
+    std::vector<float> dz(logits.size());
+    for (std::size_t j = 0; j < logits.size(); ++j) {
+      const double p =
+          std::exp(static_cast<double>((logits[j] - zmax) / temp)) / denom;
+      dz[j] = static_cast<float>(p) - (j == label ? 1.0f : 0.0f);
+    }
+
+    // Backward with STE through the sign activations. The STE window scales
+    // with sqrt(fan_in), the natural magnitude of the +-1-weighted sums
+    // (a +-1 window would zero nearly all hidden gradients).
+    for (std::size_t l = n_layers; l-- > 0;) {
+      grad_w[l].add_outer(1.0f, dz, a[l]);
+      for (std::size_t j = 0; j < dz.size(); ++j) grad_b[l][j] += dz[j];
+      if (l == 0) break;
+      std::vector<float> da = wb[l].multiply_transposed(dz);
+      const float ste_clip =
+          std::sqrt(static_cast<float>(layers[l - 1].in_features()));
+      dz.assign(da.size(), 0.0f);
+      for (std::size_t j = 0; j < da.size(); ++j) {
+        dz[j] = std::fabs(z[l - 1][j]) <= ste_clip ? da[j] : 0.0f;
+      }
+    }
+  }
+
+  // Adam step on the latent weights and biases; clip latents to [-1, 1].
+  ++step_;
+  const float b1 = cfg_.adam_beta1;
+  const float b2 = cfg_.adam_beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  const float inv_batch = 1.0f / static_cast<float>(end - begin);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    auto& lat = layers[l].latent.flat();
+    auto& g = grad_w[l].flat();
+    auto& m = m_w_[l].flat();
+    auto& v = v_w_[l].flat();
+    for (std::size_t i = 0; i < lat.size(); ++i) {
+      const float gi = g[i] * inv_batch;
+      m[i] = b1 * m[i] + (1.0f - b1) * gi;
+      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      lat[i] -= cfg_.learning_rate * mhat / (std::sqrt(vhat) + cfg_.adam_eps);
+      lat[i] = std::clamp(lat[i], -1.0f, 1.0f);
+    }
+    auto& bias = layers[l].bias;
+    for (std::size_t j = 0; j < bias.size(); ++j) {
+      const float gj = grad_b[l][j] * inv_batch;
+      m_b_[l][j] = b1 * m_b_[l][j] + (1.0f - b1) * gj;
+      v_b_[l][j] = b2 * v_b_[l][j] + (1.0f - b2) * gj * gj;
+      const float mhat = m_b_[l][j] / bc1;
+      const float vhat = v_b_[l][j] / bc2;
+      bias[j] -= cfg_.learning_rate * mhat / (std::sqrt(vhat) + cfg_.adam_eps);
+    }
+  }
+}
+
+double BnnTrainer::train_epoch(const std::vector<std::vector<float>>& xs,
+                               const std::vector<std::uint8_t>& ys) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("BnnTrainer: bad dataset");
+  }
+  std::vector<std::size_t> idx(xs.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng_.shuffle(idx);
+
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t begin = 0; begin < idx.size(); begin += cfg_.batch_size) {
+    const std::size_t end = std::min(begin + cfg_.batch_size, idx.size());
+    train_batch(xs, ys, idx, begin, end, loss_sum);
+    ++batches;
+    if (cfg_.log_every != 0 && batches % cfg_.log_every == 0) {
+      std::printf("  batch %zu/%zu  mean loss %.4f\n", batches,
+                  (idx.size() + cfg_.batch_size - 1) / cfg_.batch_size,
+                  loss_sum / static_cast<double>(end));
+      std::fflush(stdout);
+    }
+  }
+  return loss_sum / static_cast<double>(xs.size());
+}
+
+double BnnTrainer::fit(const std::vector<std::vector<float>>& xs,
+                       const std::vector<std::uint8_t>& ys) {
+  double loss = 0.0;
+  for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+    loss = train_epoch(xs, ys);
+    if (cfg_.log_every != 0) {
+      std::printf("epoch %zu/%zu  loss %.4f\n", e + 1, cfg_.epochs, loss);
+      std::fflush(stdout);
+    }
+  }
+  return loss;
+}
+
+}  // namespace esam::nn

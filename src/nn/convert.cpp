@@ -1,0 +1,132 @@
+#include "esam/nn/convert.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esam::nn {
+
+SnnNetwork SnnNetwork::from_bnn(const BnnNetwork& bnn) {
+  SnnNetwork snn;
+  snn.layers_.reserve(bnn.layers().size());
+  for (const auto& l : bnn.layers()) {
+    SnnLayer out;
+    const std::size_t in = l.in_features();
+    const std::size_t n_out = l.out_features();
+    out.weight_rows.assign(in, BitVec(n_out));
+    out.thresholds.assign(n_out, 0);
+    out.readout_offsets.assign(n_out, 0.0f);
+    for (std::size_t j = 0; j < n_out; ++j) {
+      std::int32_t s = 0;
+      for (std::size_t i = 0; i < in; ++i) {
+        const bool w01 = l.binary_weight(j, i) > 0.0f;
+        out.weight_rows[i].set(j, w01);
+        s += w01 ? 1 : -1;
+      }
+      const double offset = (static_cast<double>(s) - l.bias[j]) / 2.0;
+      out.readout_offsets[j] = static_cast<float>(offset);
+      out.thresholds[j] = static_cast<std::int32_t>(std::ceil(offset));
+    }
+    snn.layers_.push_back(std::move(out));
+  }
+  return snn;
+}
+
+std::vector<std::size_t> SnnNetwork::shape() const {
+  std::vector<std::size_t> s;
+  if (layers_.empty()) return s;
+  s.push_back(layers_.front().in_features());
+  for (const auto& l : layers_) s.push_back(l.out_features());
+  return s;
+}
+
+std::vector<std::int32_t> SnnNetwork::accumulate(const SnnLayer& layer,
+                                                 const BitVec& spikes) {
+  if (spikes.size() != layer.in_features()) {
+    throw std::invalid_argument("SnnNetwork::accumulate: spike width mismatch");
+  }
+  const std::size_t n_out = layer.out_features();
+  std::vector<std::int32_t> vmem(n_out, 0);
+  for (std::size_t i = spikes.find_first(); i < spikes.size();
+       i = spikes.find_next(i)) {
+    const BitVec& row = layer.weight_rows[i];
+    for (std::size_t j = 0; j < n_out; ++j) {
+      vmem[j] += row.test(j) ? 1 : -1;
+    }
+  }
+  return vmem;
+}
+
+BitVec SnnNetwork::fire(const SnnLayer& layer,
+                        const std::vector<std::int32_t>& vmem) {
+  BitVec out(layer.out_features());
+  for (std::size_t j = 0; j < vmem.size(); ++j) {
+    if (vmem[j] >= layer.thresholds[j]) out.set(j);
+  }
+  return out;
+}
+
+std::size_t SnnNetwork::predict(const BitVec& input_spikes) const {
+  const Trace t = trace(input_spikes);
+  return static_cast<std::size_t>(
+      std::max_element(t.output_scores.begin(), t.output_scores.end()) -
+      t.output_scores.begin());
+}
+
+SnnNetwork::Trace SnnNetwork::trace(const BitVec& input_spikes) const {
+  if (layers_.empty()) {
+    throw std::logic_error("SnnNetwork::trace: empty network");
+  }
+  Trace t;
+  t.spikes.push_back(input_spikes);
+  BitVec current = input_spikes;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::vector<std::int32_t> vmem = accumulate(layers_[l], current);
+    if (l + 1 < layers_.size()) {
+      current = fire(layers_[l], vmem);
+      t.spikes.push_back(current);
+    } else {
+      t.output_vmem = vmem;
+      t.output_scores.resize(vmem.size());
+      for (std::size_t j = 0; j < vmem.size(); ++j) {
+        t.output_scores[j] = static_cast<float>(vmem[j]) -
+                             layers_[l].readout_offsets[j];
+      }
+    }
+  }
+  return t;
+}
+
+double SnnNetwork::accuracy(const std::vector<BitVec>& xs,
+                            const std::vector<std::uint8_t>& ys) const {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("SnnNetwork::accuracy: bad dataset");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (predict(xs[i]) == ys[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(xs.size());
+}
+
+std::size_t SnnNetwork::synapse_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.in_features() * l.out_features();
+  return n;
+}
+
+std::size_t SnnNetwork::neuron_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.out_features();
+  return n;
+}
+
+BitVec to_spikes(const std::vector<float>& bipolar) {
+  BitVec spikes(bipolar.size());
+  for (std::size_t i = 0; i < bipolar.size(); ++i) {
+    if (bipolar[i] > 0.0f) spikes.set(i);
+  }
+  return spikes;
+}
+
+}  // namespace esam::nn

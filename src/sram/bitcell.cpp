@@ -1,0 +1,79 @@
+#include "esam/sram/bitcell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace esam::sram {
+namespace {
+
+// 6T footprint: 0.01512 um^2 at a 2:1 width:height aspect (short, wide cells
+// are standard for SRAM so bitlines stay short).
+constexpr double kAspect = 2.0;
+const double k6TWidthUm = std::sqrt(tech::calib::k6TCellAreaUm2 * kAspect);
+const double k6THeightUm = k6TWidthUm / kAspect;
+
+}  // namespace
+
+std::string_view to_string(CellKind kind) {
+  switch (kind) {
+    case CellKind::k1RW: return "1RW";
+    case CellKind::k1RW1R: return "1RW+1R";
+    case CellKind::k1RW2R: return "1RW+2R";
+    case CellKind::k1RW3R: return "1RW+3R";
+    case CellKind::k1RW4R: return "1RW+4R";
+  }
+  return "?";
+}
+
+namespace {
+/// Port growth is width-dominant: the mirror/access transistors line up
+/// beside the 6T core, so the cell mostly widens; height grows only mildly
+/// (one extra horizontal RWL track per port).
+constexpr double kHeightGrowthPerPort = 0.05;
+}  // namespace
+
+double BitcellSpec::height_um() const {
+  return k6THeightUm *
+         (1.0 + kHeightGrowthPerPort * static_cast<double>(read_ports));
+}
+
+double BitcellSpec::width_um() const {
+  // Width absorbs the rest of the area multiplier.
+  return k6TWidthUm * area_multiplier /
+         (1.0 + kHeightGrowthPerPort * static_cast<double>(read_ports));
+}
+
+double BitcellSpec::vertical_track_width_factor() const {
+  // The 6T dedicates the full vertical routing budget to its WL. Adding p
+  // RBL tracks divides the (widened) budget among 1 + p wires.
+  const double tracks = 1.0 + static_cast<double>(read_ports);
+  return (width_um() / k6TWidthUm) / tracks;
+}
+
+double BitcellSpec::horizontal_track_width_factor() const {
+  const double tracks = 2.0 + static_cast<double>(read_ports);
+  return 2.0 * (height_um() / k6THeightUm) / tracks;
+}
+
+BitcellSpec BitcellSpec::of(CellKind kind) {
+  const std::size_t i = index_of(kind);
+  BitcellSpec s;
+  s.kind = kind;
+  s.read_ports = i;
+  s.area_multiplier = tech::calib::kCellAreaMultiplier[i];
+  s.transistor_count = i == 0 ? 6 : 6 + 1 + i;  // core + mirror M7 + access
+  return s;
+}
+
+BitcellSpec BitcellSpec::hypothetical(std::size_t ports) {
+  if (ports <= 4) return of(kAllCellKinds[ports]);
+  BitcellSpec s = of(CellKind::k1RW4R);
+  s.read_ports = ports;
+  s.transistor_count = 6 + 1 + ports;
+  s.area_multiplier = tech::calib::kCellAreaMultiplier[4] +
+                      tech::calib::kFifthPortAreaPenalty *
+                          static_cast<double>(ports - 4);
+  return s;
+}
+
+}  // namespace esam::sram

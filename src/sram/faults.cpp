@@ -1,0 +1,25 @@
+#include "esam/sram/faults.hpp"
+
+#include <stdexcept>
+
+namespace esam::sram {
+
+FaultMap sample_fault_map(std::size_t rows, std::size_t cols,
+                          double defect_rate, util::Rng& rng) {
+  if (defect_rate < 0.0 || defect_rate > 1.0) {
+    throw std::invalid_argument("sample_fault_map: rate must be in [0,1]");
+  }
+  FaultMap map(rows, cols);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    if (rng.bernoulli(defect_rate)) {
+      if (rng.bernoulli(0.5)) {
+        map.stuck_at_zero.set(i);
+      } else {
+        map.stuck_at_one.set(i);
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace esam::sram

@@ -1,0 +1,197 @@
+#include "esam/sram/macro.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace esam::sram {
+
+SramMacro::SramMacro(const TechnologyParams& tech, BitcellSpec spec,
+                     ArrayGeometry geometry, Voltage vprech,
+                     bool allow_non_yielding)
+    : timing_(tech, spec, geometry, vprech),
+      bits_(geometry.rows, BitVec(geometry.cols)) {
+  if (!allow_non_yielding && !timing_.yielding()) {
+    throw std::invalid_argument(
+        "SramMacro: " + std::to_string(geometry.rows) + "x" +
+        std::to_string(geometry.cols) +
+        " array violates the NBL write-assist yield rule (VWD < -400 mV); "
+        "arrays are limited to 128 rows/columns (paper sec. 4.1)");
+  }
+}
+
+bool SramMacro::peek(std::size_t row, std::size_t col) const {
+  check_row(row);
+  return observed_row(row).test(col);
+}
+
+BitVec SramMacro::observed_row(std::size_t row) const {
+  if (stuck0_.empty()) return bits_[row];
+  return (bits_[row] & ~stuck0_[row]) | stuck1_[row];
+}
+
+void SramMacro::apply_faults(const FaultMap& map) {
+  const std::size_t rows = geometry().rows;
+  const std::size_t cols = geometry().cols;
+  if (map.stuck_at_zero.size() != rows * cols ||
+      map.stuck_at_one.size() != rows * cols) {
+    throw std::invalid_argument("SramMacro::apply_faults: shape mismatch");
+  }
+  stuck0_.assign(rows, BitVec(cols));
+  stuck1_.assign(rows, BitVec(cols));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      stuck0_[r].set(c, map.stuck_at_zero.test(r * cols + c));
+      stuck1_[r].set(c, map.stuck_at_one.test(r * cols + c));
+    }
+  }
+}
+
+void SramMacro::clear_faults() {
+  stuck0_.clear();
+  stuck1_.clear();
+}
+
+std::size_t SramMacro::fault_count() const {
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < stuck0_.size(); ++r) {
+    n += stuck0_[r].count() + stuck1_[r].count();
+  }
+  return n;
+}
+
+void SramMacro::poke(std::size_t row, std::size_t col, bool value) {
+  check_row(row);
+  bits_[row].set(col, value);
+}
+
+void SramMacro::load(const std::vector<BitVec>& rows) {
+  if (rows.size() != geometry().rows) {
+    throw std::invalid_argument("SramMacro::load: row count mismatch");
+  }
+  for (const auto& r : rows) {
+    if (r.size() != geometry().cols) {
+      throw std::invalid_argument("SramMacro::load: column count mismatch");
+    }
+  }
+  bits_ = rows;
+}
+
+BitVec SramMacro::read_row(std::size_t port, std::size_t row) {
+  check_row(row);
+  const std::size_t usable_ports =
+      spec().read_ports == 0 ? 1 : spec().read_ports;
+  if (port >= usable_ports) {
+    throw std::out_of_range("SramMacro::read_row: port " +
+                            std::to_string(port) + " out of range");
+  }
+  ++stats_.inference_row_reads;
+  post(util::EnergyCategory::kSramRead, timing_.inference_row_read_energy());
+  return observed_row(row);
+}
+
+OpProfile SramMacro::inference_read_profile() const {
+  return {timing_.inference_read_time(), timing_.inference_row_read_energy()};
+}
+
+BitVec SramMacro::read_column(std::size_t col) {
+  check_col(col);
+  BitVec out(geometry().rows);
+  for (std::size_t r = 0; r < geometry().rows; ++r) {
+    out.set(r, observed_row(r).test(col));
+  }
+  if (timing_.rw_port_is_columnwise()) {
+    const std::size_t accesses = geometry().col_mux;
+    stats_.rw_read_accesses += accesses;
+    post(util::EnergyCategory::kSramTransRead,
+         timing_.rw_read_access().energy * static_cast<double>(accesses));
+  } else {
+    // 6T baseline: one full-row read per row just to fish out one bit each.
+    stats_.rw_read_accesses += geometry().rows;
+    post(util::EnergyCategory::kSramTransRead,
+         timing_.rw_read_access().energy * static_cast<double>(geometry().rows));
+  }
+  return out;
+}
+
+void SramMacro::write_column(std::size_t col, const BitVec& value) {
+  check_col(col);
+  if (value.size() != geometry().rows) {
+    throw std::invalid_argument("SramMacro::write_column: size mismatch");
+  }
+  for (std::size_t r = 0; r < geometry().rows; ++r) {
+    bits_[r].set(col, value.test(r));
+  }
+  if (timing_.rw_port_is_columnwise()) {
+    const std::size_t accesses = geometry().col_mux;
+    stats_.rw_write_accesses += accesses;
+    post(util::EnergyCategory::kSramWrite,
+         timing_.rw_write_access().energy * static_cast<double>(accesses));
+  } else {
+    stats_.rw_write_accesses += geometry().rows;
+    post(util::EnergyCategory::kSramWrite,
+         timing_.rw_write_access().energy * static_cast<double>(geometry().rows));
+  }
+}
+
+BitVec SramMacro::read_row_rw(std::size_t row) {
+  if (timing_.rw_port_is_columnwise()) {
+    throw std::logic_error(
+        "SramMacro::read_row_rw: the RW port of multiport cells is "
+        "column-wise; use read_column or the inference ports");
+  }
+  check_row(row);
+  ++stats_.rw_read_accesses;
+  post(util::EnergyCategory::kSramTransRead, timing_.rw_read_access().energy);
+  return observed_row(row);
+}
+
+void SramMacro::write_row_rw(std::size_t row, const BitVec& value) {
+  if (timing_.rw_port_is_columnwise()) {
+    throw std::logic_error(
+        "SramMacro::write_row_rw: the RW port of multiport cells is "
+        "column-wise; use write_column");
+  }
+  check_row(row);
+  if (value.size() != geometry().cols) {
+    throw std::invalid_argument("SramMacro::write_row_rw: size mismatch");
+  }
+  bits_[row] = value;
+  ++stats_.rw_write_accesses;
+  post(util::EnergyCategory::kSramWrite, timing_.rw_write_access().energy);
+}
+
+OpProfile SramMacro::column_update_cost() const {
+  if (timing_.rw_port_is_columnwise()) {
+    const OpProfile rd = timing_.line_read();
+    const OpProfile wr = timing_.line_write();
+    return {rd.time + wr.time, rd.energy + wr.energy};
+  }
+  // 6T baseline (sec. 4.4.1): read every row, write every row; each op takes
+  // a full system clock cycle.
+  const double rows = static_cast<double>(geometry().rows);
+  const double clock_ns = tech::calib::kTable2ArbiterNs[0];
+  const OpProfile rd = timing_.rw_read_access();
+  const OpProfile wr = timing_.rw_write_access();
+  return {util::nanoseconds(2.0 * rows * clock_ns),
+          (rd.energy + wr.energy) * rows};
+}
+
+void SramMacro::post(util::EnergyCategory cat, util::Energy e) {
+  if (ledger_ != nullptr) ledger_->add(cat, e);
+}
+
+void SramMacro::check_row(std::size_t row) const {
+  if (row >= geometry().rows) {
+    throw std::out_of_range("SramMacro: row " + std::to_string(row) +
+                            " out of range");
+  }
+}
+
+void SramMacro::check_col(std::size_t col) const {
+  if (col >= geometry().cols) {
+    throw std::out_of_range("SramMacro: column " + std::to_string(col) +
+                            " out of range");
+  }
+}
+
+}  // namespace esam::sram

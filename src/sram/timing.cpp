@@ -1,0 +1,467 @@
+#include "esam/sram/timing.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "esam/tech/calibration.hpp"
+#include "esam/tech/wire.hpp"
+
+namespace esam::sram {
+namespace {
+
+namespace calib = tech::calib;
+
+// --- free model constants ------------------------------------------------------
+// These are not fitted to a specific paper number; they set secondary effects
+// whose *direction* the paper describes. Golden tests pin the directions.
+
+/// Extra sidewall coupling per neighbouring vertical track (RBLs squeeze
+/// against each other and the transposed WL).
+constexpr double kCouplingPerTrack = 0.06;
+/// Strength of the sub-threshold "tail" slowing the final approach of the
+/// precharge towards Vprech when the precharge device overdrive is small.
+constexpr double kPrechTailGain = 3.6;
+/// Per-port narrowing of the precharge device (the column pitch is shared
+/// by the per-port precharge/SA stack, so each device loses drive).
+constexpr double kPrechResPerPort = 0.08;
+/// Row-decoder depth in FO4.
+constexpr double kDecodeFo4 = 6.0;
+/// Register setup + clock uncertainty folded into each path.
+constexpr double kSetupPs = 30.0;
+/// Drive strength (in single-fin units) of wordline drivers / write drivers
+/// and of the per-line precharge device.
+constexpr double kDriverFins = 8.0;
+constexpr double kPrechargeFins = 4.0;
+/// Peak crowbar current scale of one inverter sense amp whose input rests at
+/// a mid-rail precharge level (see InverterSenseAmp commentary).
+constexpr double kSaCrowbarPeakFraction = 0.005;
+/// Effective switching activity of a read bitline (data-dependent discharge
+/// plus partial swings on non-discharging lines).
+constexpr double kReadActivity = 0.70;
+/// Differential restore swing after a read (sense margin + wordline overlap).
+constexpr double kDiffReadSwingV = 0.15;
+/// Internal-node energy of flipping one bitcell, in min-inverter units.
+constexpr double kCellFlipInverters = 2.0;
+/// Fraction of the read path during which SA crowbar persists after precharge.
+constexpr double kCrowbarReadFraction = 0.3;
+/// Area overhead for the array control FSM / timing generation.
+constexpr double kControlAreaOverhead = 0.05;
+
+/// Precharge window: half the design's clock period (Table 2). For
+/// hypothetical >4-port cells, extrapolate with the 4R window.
+double precharge_window_ns(std::size_t ports) {
+  const std::size_t i = std::min<std::size_t>(ports, 4);
+  return 0.5 * std::max(calib::kTable2ArbiterNs[i], calib::kTable2SramNeuronNs[i]);
+}
+
+double clock_period_ns(std::size_t ports) {
+  const std::size_t i = std::min<std::size_t>(ports, 4);
+  return std::max(calib::kTable2ArbiterNs[i], calib::kTable2SramNeuronNs[i]);
+}
+
+}  // namespace
+
+// --- raw analytic values --------------------------------------------------------
+
+struct SramTimingModel::Raw {
+  double pre_ps = 0.0;        ///< precharge settle time (with tail)
+  double read_ps = 0.0;       ///< inference read path (decode..sense)
+  double row_read_fj = 0.0;   ///< one-port full-row inference read, dynamic
+  double rw_read_ps = 0.0;    ///< one RW-port (muxed) read access
+  double rw_write_ps = 0.0;
+  double rw_read_fj = 0.0;
+  double rw_write_fj = 0.0;
+};
+
+SramTimingModel::SramTimingModel(const TechnologyParams& tech, BitcellSpec spec,
+                                 ArrayGeometry geometry, Voltage vprech)
+    : tech_(&tech),
+      spec_(spec),
+      geom_(geometry),
+      vprech_(vprech),
+      assist_(tech) {
+  if (geom_.rows == 0 || geom_.cols == 0) {
+    throw std::invalid_argument("SramTimingModel: geometry must be non-empty");
+  }
+  if (geom_.col_mux == 0) {
+    throw std::invalid_argument("SramTimingModel: col_mux must be >= 1");
+  }
+  if (util::in_volts(vprech_) <= 0.0 || vprech_ > tech.vdd) {
+    throw std::invalid_argument("SramTimingModel: Vprech must be in (0, VDD]");
+  }
+}
+
+SramTimingModel::Raw SramTimingModel::raw() const {
+  const TechnologyParams& t = *tech_;
+  const double rows = static_cast<double>(geom_.rows);
+  const double cols = static_cast<double>(geom_.cols);
+  const double ports = static_cast<double>(spec_.read_ports);
+  const double fo4_ps = util::in_picoseconds(t.fo4_delay);
+  const double vdd = util::in_volts(t.vdd);
+  const double vpre = util::in_volts(vprech_);
+
+  // Geometry -------------------------------------------------------------
+  const double cw = spec_.width_um();
+  const double ch = spec_.height_um();
+  const bool columnwise = rw_port_is_columnwise();
+
+  // RW port orientation: for multiport cells the pair runs horizontally
+  // (cols wide) and the WL vertically (rows tall); for the 6T baseline the
+  // classic row-wise orientation applies.
+  const double rw_bl_len = columnwise ? cols * cw : rows * ch;
+  const double rw_wl_len = columnwise ? rows * ch : cols * cw;
+  const double rw_bl_cells = columnwise ? cols : rows;  // cells per BL pair
+  const double rw_wl_cells = columnwise ? rows : cols;  // cells per WL
+
+  const double coupling =
+      1.0 + kCouplingPerTrack * ports;  // vertical tracks squeeze together
+
+  // Wires ------------------------------------------------------------------
+  const tech::Wire rw_bl(t, rw_bl_len, spec_.horizontal_track_width_factor());
+  const tech::Wire rw_wl(t, rw_wl_len, spec_.vertical_track_width_factor());
+  const tech::Wire rwl(t, cols * cw, spec_.horizontal_track_width_factor());
+  const tech::Wire rbl(t, rows * ch, spec_.vertical_track_width_factor());
+
+  const double r_drv = util::in_ohms(t.device_on_res) / kDriverFins;
+  const double gate_af = util::in_attofarads(t.gate_cap);
+  const double diff_af = util::in_attofarads(t.diffusion_cap);
+
+  // Capacitances (fF) -------------------------------------------------------
+  const double c_rbl_ff =
+      rows * (ch * util::in_femtofarads(t.wire_cap_per_um) * coupling +
+              diff_af * 1e-3);
+  const double c_rw_bl_ff = util::in_femtofarads(rw_bl.capacitance()) +
+                            rw_bl_cells * diff_af * 1e-3;
+  const double c_rw_wl_ff = util::in_femtofarads(rw_wl.capacitance()) +
+                            rw_wl_cells * 2.0 * gate_af * 1e-3;
+  const double c_rwl_ff = util::in_femtofarads(rwl.capacitance()) +
+                          cols * gate_af * 1e-3;
+
+  Raw out;
+
+  // --- inference path -------------------------------------------------------
+  if (spec_.read_ports == 0) {
+    // Baseline 6T: inference reads the full row through the ordinary
+    // differential port at VDD (there is no separate precharge rail).
+    const double r_stack = 2.0 * util::in_ohms(t.device_on_res);
+    const double r_bl = util::in_ohms(rw_bl.resistance());
+    const double t_wl = util::in_picoseconds(rw_wl.elmore_delay(
+        util::ohms(r_drv), util::femtofarads(rw_wl_cells * 2.0 * gate_af * 1e-3)));
+    const double t_dis =
+        (r_stack + 0.5 * r_bl) * c_rw_bl_ff * 1e-15 * (kDiffReadSwingV / (vdd * 0.5)) * 1e12;
+    const DifferentialSenseAmp sa(t);
+    out.read_ps = kDecodeFo4 * fo4_ps + t_wl + t_dis +
+                  util::in_picoseconds(sa.sense_delay()) + kSetupPs;
+    // Precharge-to-VDD of the differential pairs (strong overdrive).
+    const double r_pre =
+        util::in_ohms(t.effective_res(t.vdd)) / kPrechargeFins;
+    out.pre_ps = 2.2 * r_pre * c_rw_bl_ff * 1e-15 * 1e12;
+    // Energy: every pair restores the read swing; SA per column; WL.
+    const double e_pair_fj = c_rw_bl_ff * vdd * kDiffReadSwingV;
+    const double e_sa_fj = util::in_femtojoules(sa.sense_energy());
+    const double e_wl_fj =
+        util::in_femtojoules(rw_wl.switching_energy(t.vdd, util::femtofarads(c_rw_wl_ff - util::in_femtofarads(rw_wl.capacitance()))));
+    out.row_read_fj = cols * (e_pair_fj + e_sa_fj) + e_wl_fj;
+  } else {
+    // Decoupled single-ended ports at Vprech.
+    const double r_stack = 2.0 * util::in_ohms(t.device_on_res);  // M7+M8..
+    const double r_rbl = util::in_ohms(rbl.resistance());
+    const double t_wl = util::in_picoseconds(rwl.elmore_delay(
+        util::ohms(r_drv), util::femtofarads(cols * gate_af * 1e-3)));
+    // Discharge to the sense trip point (~Vprech/2): a smaller precharge
+    // level means less charge to remove, so reads get slightly faster as
+    // Vprech drops (the precharge side moves the other way, much harder).
+    const double swing_factor = std::sqrt(vpre / vdd);
+    const double t_dis =
+        0.69 * (r_stack + 0.5 * r_rbl) * c_rbl_ff * 1e-15 * swing_factor * 1e12;
+    const InverterSenseAmp sa(t, vprech_);
+    out.read_ps = kDecodeFo4 * fo4_ps + t_wl + t_dis +
+                  util::in_picoseconds(sa.sense_delay()) + kSetupPs;
+    // Precharge to Vprech through a device whose overdrive is Vprech - Vth;
+    // the sub-threshold tail slows the final approach at low Vprech.
+    const double od = std::max(vpre - util::in_volts(t.vth), 0.05);
+    const double tail = 1.0 + kPrechTailGain * (util::in_volts(t.vth) / od) *
+                                  (util::in_volts(t.vth) / od);
+    const double r_pre = util::in_ohms(t.effective_res(vprech_)) /
+                         kPrechargeFins * (1.0 + kPrechResPerPort * ports);
+    out.pre_ps = 2.2 * r_pre * c_rbl_ff * 1e-15 * tail * 1e12;
+    // Energy of one row activation on one port: all columns precharge-restore
+    // with data activity; per-column inverter SA; the RWL swing.
+    const double e_rbl_fj = c_rbl_ff * vpre * vpre * kReadActivity;
+    const double e_sa_fj = util::in_femtojoules(sa.sense_energy());
+    const double e_rwl_fj = c_rwl_ff * vdd * vdd;
+    out.row_read_fj = cols * (e_rbl_fj + e_sa_fj) + e_rwl_fj;
+  }
+
+  // --- RW port (read/write of a muxed line segment) --------------------------
+  {
+    const double r_stack = 2.0 * util::in_ohms(t.device_on_res);
+    const double r_bl = util::in_ohms(rw_bl.resistance());
+    const double bits = static_cast<double>(rw_access_bits());
+    const DifferentialSenseAmp sa(t);
+    const double t_wl = util::in_picoseconds(rw_wl.elmore_delay(
+        util::ohms(r_drv), util::femtofarads(rw_wl_cells * 2.0 * gate_af * 1e-3)));
+    const double t_dis =
+        (r_stack + 0.5 * r_bl) * c_rw_bl_ff * 1e-15 * (kDiffReadSwingV / (vdd * 0.5)) * 1e12;
+    out.rw_read_ps = t_wl + t_dis + util::in_picoseconds(sa.sense_delay()) +
+                     fo4_ps /*mux*/ + kSetupPs;
+
+    const double e_pair_fj = c_rw_bl_ff * vdd * kDiffReadSwingV;
+    const double e_sa_fj = util::in_femtojoules(sa.sense_energy());
+    const double e_wl_fj = c_rw_wl_ff * vdd * vdd;
+    out.rw_read_fj = bits * (e_pair_fj + e_sa_fj) + e_wl_fj;
+
+    // Write: full-swing BL with NBL underdrive, then cell flip.
+    const auto assist = assist_.evaluate(geom_.rows, spec_.read_ports);
+    const double vwd = std::fabs(util::in_volts(assist.required_vwd));
+    const double t_bl = 0.69 * (r_drv + r_bl) * c_rw_bl_ff * 1e-15 *
+                        ((vdd + vwd) / vdd) * 1e12;
+    out.rw_write_ps = t_wl + t_bl + 4.0 * fo4_ps /*flip*/ + kSetupPs;
+    const double e_flip_fj =
+        kCellFlipInverters * util::in_femtofarads(t.min_inverter_cap) * vdd * vdd;
+    const double e_bl_fj = c_rw_bl_ff * (vdd + vwd) * vdd;  // NBL swing
+    const double half_selected =
+        bits * (static_cast<double>(geom_.col_mux) - 1.0);
+    const double e_disturb_fj = half_selected * c_rw_bl_ff * vdd * 0.02;
+    out.rw_write_fj = bits * (e_bl_fj + e_flip_fj) + e_wl_fj + e_disturb_fj;
+  }
+
+  return out;
+}
+
+// --- calibration ----------------------------------------------------------------
+
+namespace {
+
+struct Scales {
+  double inf_read_t = 1.0;
+  double rw_read_t = 1.0;
+  double rw_write_t = 1.0;
+  double rw_read_e = 1.0;
+  double rw_write_e = 1.0;
+};
+
+}  // namespace
+
+/// Grants the in-file calibration fit access to the raw analytic values.
+struct CalibrationProbe {
+  static SramTimingModel::Raw raw(const SramTimingModel& m) { return m.raw(); }
+};
+
+namespace detail {
+
+/// Raw values of the five paper cells at the nominal operating point
+/// (128x128, Vprech = 500 mV), used to fit the calibration scales once.
+struct NominalRaw {
+  double read_ps, rw_read_ps, rw_write_ps, rw_read_fj, rw_write_fj;
+};
+
+static NominalRaw nominal_raw(std::size_t kind_index) {
+  const auto& t = tech::imec3nm();
+  SramTimingModel m(t, BitcellSpec::of(kAllCellKinds[kind_index]),
+                    ArrayGeometry{}, t.vprech_nominal);
+  const auto r = CalibrationProbe::raw(m);
+  return {r.read_ps, r.rw_read_ps, r.rw_write_ps, r.rw_read_fj, r.rw_write_fj};
+}
+
+static const std::array<Scales, 5>& scales() {
+  static const std::array<Scales, 5> table = [] {
+    std::array<NominalRaw, 5> raws{};
+    for (std::size_t i = 0; i < 5; ++i) raws[i] = nominal_raw(i);
+
+    std::array<Scales, 5> s{};
+    // Inference read path: anchored per cell to Table 2 minus the neuron
+    // stage split (calibration.hpp).
+    for (std::size_t i = 0; i < 5; ++i) {
+      s[i].inf_read_t = calib::kSramReadPathNs[i] * 1e3 / raws[i].read_ps;
+    }
+    // RW port timing: anchored at both endpoints (6T from the 2x128-cycle
+    // baseline, 4R from the 9.9 ns / 8.04 ns column numbers); interior cells
+    // use a geometric blend of the endpoint scales.
+    const double s_rt0 = calib::kTrans6TReadNs * 1e3 / raws[0].rw_read_ps;
+    const double s_rt4 = calib::kTrans4RReadNs * 1e3 / raws[4].rw_read_ps;
+    const double s_wt0 = calib::kTrans6TWriteNs * 1e3 / raws[0].rw_write_ps;
+    const double s_wt4 = calib::kTrans4RWriteNs * 1e3 / raws[4].rw_write_ps;
+    // RW port energy: anchored at the 6T endpoint only (157 pJ / 128 pairs);
+    // the growth with ports follows the physics.
+    const double s_re = calib::kTrans6TReadPj * 1e3 / raws[0].rw_read_fj;
+    const double s_we = calib::kTrans6TWritePj * 1e3 / raws[0].rw_write_fj;
+    for (std::size_t i = 0; i < 5; ++i) {
+      const double w = static_cast<double>(i) / 4.0;
+      s[i].rw_read_t = std::pow(s_rt0, 1.0 - w) * std::pow(s_rt4, w);
+      s[i].rw_write_t = std::pow(s_wt0, 1.0 - w) * std::pow(s_wt4, w);
+      s[i].rw_read_e = s_re;
+      s[i].rw_write_e = s_we;
+    }
+    return s;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+namespace {
+
+const Scales& scales_for(const BitcellSpec& spec) {
+  return detail::scales()[std::min<std::size_t>(spec.read_ports, 4)];
+}
+
+}  // namespace
+
+// --- public interface -------------------------------------------------------------
+
+Time SramTimingModel::precharge_time() const {
+  return util::picoseconds(raw().pre_ps);
+}
+
+Time SramTimingModel::inference_read_time() const {
+  return util::picoseconds(raw().read_ps * scales_for(spec_).inf_read_t);
+}
+
+bool SramTimingModel::precharge_stalled() const {
+  return util::in_nanoseconds(precharge_time()) >
+         precharge_window_ns(spec_.read_ports);
+}
+
+Time SramTimingModel::inference_access_time() const {
+  Time t = precharge_time() + inference_read_time();
+  if (precharge_stalled()) {
+    t += util::nanoseconds(clock_period_ns(spec_.read_ports));
+  }
+  return t;
+}
+
+Energy SramTimingModel::inference_row_read_energy() const {
+  return util::femtojoules(raw().row_read_fj);
+}
+
+Energy SramTimingModel::average_access_energy_full_utilization() const {
+  const double p = static_cast<double>(std::max<std::size_t>(spec_.read_ports, 1));
+  const Energy dynamic = inference_row_read_energy();
+
+  // Static contributions shared across the p concurrent operations:
+  // array leakage over the access, plus SA crowbar while inputs hover at a
+  // mid-rail precharge level (significant only when Vprech approaches the
+  // PMOS threshold from below VDD, i.e. at 400 mV).
+  const Time access = inference_access_time();
+  const Energy leak_share = (leakage() * access) / p;
+
+  Energy crowbar{};
+  if (spec_.read_ports > 0) {
+    const double vdd = util::in_volts(tech_->vdd);
+    const double od = vdd - util::in_volts(vprech_) - util::in_volts(tech_->vth);
+    const double i_on = vdd / util::in_ohms(tech_->device_on_res);
+    double i_sc = 0.0;
+    if (od > 0.0) {
+      i_sc = i_on * kSaCrowbarPeakFraction * std::pow(od / 0.1, tech_->sat_alpha);
+    } else {
+      i_sc = i_on * kSaCrowbarPeakFraction * 0.08 * std::exp(od / 0.04);
+    }
+    const Time crowbar_window =
+        precharge_time() + inference_read_time() * kCrowbarReadFraction +
+        (precharge_stalled()
+             ? util::nanoseconds(clock_period_ns(spec_.read_ports))
+             : util::picoseconds(0.0));
+    const double n_sa = static_cast<double>(geom_.cols);  // per port
+    crowbar = util::joules(n_sa * i_sc * vdd * util::in_seconds(crowbar_window));
+  }
+  return dynamic + leak_share + crowbar;
+}
+
+Time SramTimingModel::average_access_time_full_utilization() const {
+  const double p = static_cast<double>(std::max<std::size_t>(spec_.read_ports, 1));
+  return inference_access_time() / p;
+}
+
+bool SramTimingModel::rw_port_is_columnwise() const {
+  return spec_.read_ports > 0;
+}
+
+std::size_t SramTimingModel::rw_access_bits() const {
+  // The multiport cells mux the transposed SAs 4:1 against the row pitch;
+  // the 6T baseline macro senses the full row (one SA per column).
+  if (rw_port_is_columnwise()) {
+    return (geom_.rows + geom_.col_mux - 1) / geom_.col_mux;
+  }
+  return geom_.cols;
+}
+
+OpProfile SramTimingModel::rw_read_access() const {
+  const Raw r = raw();
+  const Scales& s = scales_for(spec_);
+  return {util::picoseconds(r.rw_read_ps * s.rw_read_t),
+          util::femtojoules(r.rw_read_fj * s.rw_read_e)};
+}
+
+OpProfile SramTimingModel::rw_write_access() const {
+  const Raw r = raw();
+  const Scales& s = scales_for(spec_);
+  return {util::picoseconds(r.rw_write_ps * s.rw_write_t),
+          util::femtojoules(r.rw_write_fj * s.rw_write_e)};
+}
+
+OpProfile SramTimingModel::line_read() const {
+  const std::size_t accesses =
+      rw_port_is_columnwise() ? geom_.col_mux : geom_.rows;
+  const OpProfile one = rw_read_access();
+  return {one.time * static_cast<double>(accesses),
+          one.energy * static_cast<double>(accesses)};
+}
+
+OpProfile SramTimingModel::line_write() const {
+  const std::size_t accesses =
+      rw_port_is_columnwise() ? geom_.col_mux : geom_.rows;
+  const OpProfile one = rw_write_access();
+  return {one.time * static_cast<double>(accesses),
+          one.energy * static_cast<double>(accesses)};
+}
+
+Voltage SramTimingModel::required_vwd() const {
+  return assist_.evaluate(geom_.rows, spec_.read_ports).required_vwd;
+}
+
+bool SramTimingModel::yielding() const {
+  return assist_.evaluate(geom_.rows, spec_.read_ports).yielding &&
+         assist_.evaluate(geom_.cols, spec_.read_ports).yielding;
+}
+
+Power SramTimingModel::leakage() const {
+  const double cells = static_cast<double>(geom_.rows * geom_.cols);
+  const Power cell_leak = tech_->cell_leakage * (cells * spec_.area_multiplier);
+  const double sa_count =
+      static_cast<double>(geom_.cols * spec_.read_ports) +
+      static_cast<double>(rw_access_bits());
+  const Power periph_leak = tech_->gate_leakage * (sa_count * 3.0);
+  return cell_leak + periph_leak;
+}
+
+Area SramTimingModel::cell_array_area() const {
+  const double cells = static_cast<double>(geom_.rows * geom_.cols);
+  return util::square_microns(cells * spec_.area_um2());
+}
+
+Area SramTimingModel::array_area() const {
+  const double ports = static_cast<double>(spec_.read_ports);
+  const InverterSenseAmp inv_sa(*tech_, vprech_);
+  const DifferentialSenseAmp diff_sa(*tech_);
+  const Area sa_area = inv_sa.area() * (static_cast<double>(geom_.cols) * ports) +
+                       diff_sa.area() * static_cast<double>(rw_access_bits());
+  // Wordline drivers: one per row per port plus the RW-port drivers; each
+  // about two bitcells.
+  const double drivers = static_cast<double>(geom_.rows) * std::max(ports, 1.0) +
+                         static_cast<double>(rw_port_is_columnwise() ? geom_.cols
+                                                                     : geom_.rows);
+  const Area driver_area =
+      util::square_microns(2.0 * tech::calib::k6TCellAreaUm2 * drivers);
+  // Precharge devices: one per column per port, half a bitcell each.
+  const Area precharge_area = util::square_microns(
+      0.5 * tech::calib::k6TCellAreaUm2 * static_cast<double>(geom_.cols) *
+      std::max(ports, 1.0));
+  const Area subtotal =
+      cell_array_area() + sa_area + driver_area + precharge_area;
+  return subtotal * (1.0 + kControlAreaOverhead);
+}
+
+}  // namespace esam::sram

@@ -1,0 +1,92 @@
+#include "esam/tech/technology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esam::tech {
+
+Resistance TechnologyParams::effective_res(Voltage vgs) const {
+  // I_on ~ (Vgs - Vth)^alpha (velocity-saturated FinFET). `device_on_res`
+  // is defined at Vgs = VDD; scale by the overdrive ratio. Clamp the
+  // overdrive to 50 mV so sub-threshold operation degrades gracefully
+  // instead of dividing by zero.
+  const double od_nominal = std::max(util::in_volts(vdd) - util::in_volts(vth), 0.05);
+  const double od = std::max(util::in_volts(vgs) - util::in_volts(vth), 0.05);
+  const double ratio = std::pow(od_nominal / od, sat_alpha);
+  return util::ohms(util::in_ohms(device_on_res) * ratio);
+}
+
+VariationSample sample_variation(util::Rng& rng, double sigma_fraction) {
+  VariationSample s;
+  // Device strength and wire resistance vary lognormally (strictly
+  // positive); Vth shifts are normal. A common die-level component
+  // correlates the device and wire draws.
+  const double die = rng.normal();
+  const double local_dev = rng.normal();
+  const double local_wire = rng.normal();
+  s.device_res_mult =
+      std::exp(sigma_fraction * (0.6 * die + 0.8 * local_dev));
+  s.wire_res_mult =
+      std::exp(sigma_fraction * (0.6 * die + 0.8 * local_wire));
+  s.vth_shift_mv = 8.0 * sigma_fraction / 0.04 * rng.normal();
+  // Leakage is exponentially sensitive to Vth: lower Vth -> leakier.
+  s.leakage_mult = std::exp(-s.vth_shift_mv / 35.0);
+  return s;
+}
+
+TechnologyParams apply_variation(const TechnologyParams& nominal,
+                                 const VariationSample& sample) {
+  TechnologyParams v = nominal;
+  v.device_on_res = nominal.device_on_res * sample.device_res_mult;
+  v.wire_res_per_um = nominal.wire_res_per_um * sample.wire_res_mult;
+  v.vth = util::millivolts(util::in_millivolts(nominal.vth) +
+                           sample.vth_shift_mv);
+  v.fo4_delay = nominal.fo4_delay * sample.device_res_mult;
+  v.cell_leakage = nominal.cell_leakage * sample.leakage_mult;
+  v.gate_leakage = nominal.gate_leakage * sample.leakage_mult;
+  return v;
+}
+
+const TechnologyParams& imec3nm_low_power() {
+  static const TechnologyParams node = [] {
+    TechnologyParams lp = imec3nm();
+    lp.name = "IMEC 3nm FinFET (HVT low-power)";
+    lp.vdd = util::millivolts(500.0);
+    lp.vprech_nominal = util::millivolts(360.0);
+    lp.vth = util::millivolts(270.0);  // HVT
+    // Less overdrive + HVT: weaker, slower devices...
+    lp.device_on_res = util::kiloohms(16.5);
+    lp.fo4_delay = util::picoseconds(26.0);
+    // ...but an order of magnitude less leakage.
+    lp.cell_leakage = util::nanowatts(0.1);
+    lp.gate_leakage = util::nanowatts(0.4);
+    return lp;
+  }();
+  return node;
+}
+
+const TechnologyParams& imec3nm() {
+  // Values are representative of a 3 nm-class FinFET process (thin, resistive
+  // local interconnect; ~10 ps FO4 at 0.7 V; high-density low-leakage SRAM)
+  // and are jointly calibrated so that the SRAM/arbiter/neuron models land on
+  // the anchors in esam/tech/calibration.hpp. See DESIGN.md section 2.
+  static const TechnologyParams node{
+      .name = "IMEC 3nm FinFET",
+      .vdd = util::millivolts(700.0),
+      .vprech_nominal = util::millivolts(500.0),
+      .vth = util::millivolts(220.0),
+      .wire_res_per_um = util::ohms(420.0),
+      .wire_cap_per_um = util::femtofarads(0.21),
+      .device_on_res = util::kiloohms(7.4),
+      .gate_cap = util::attofarads(28.0),
+      .diffusion_cap = util::attofarads(16.0),
+      .fo4_delay = util::picoseconds(10.5),
+      .min_inverter_cap = util::attofarads(80.0),
+      .cell_leakage = util::nanowatts(0.8),
+      .gate_leakage = util::nanowatts(3.2),
+      .sat_alpha = 1.3,
+  };
+  return node;
+}
+
+}  // namespace esam::tech

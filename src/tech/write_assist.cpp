@@ -1,0 +1,46 @@
+#include "esam/tech/write_assist.hpp"
+
+#include <cmath>
+
+#include "esam/tech/calibration.hpp"
+
+namespace esam::tech {
+namespace {
+
+// Fit: |VWD|(rows, ports) = base * (rows / 128) * (1 + per_port * ports).
+// Anchors (calibration.hpp): at 128 rows all of 0..4 ports must satisfy
+// |VWD| <= 400 mV with the 4-port case close to the limit (the paper chose
+// 128 as the boundary for *all* cells, so the worst cell sits just inside);
+// at 256 rows even the 0-port 6T must exceed 400 mV.
+constexpr double kBaseMv = 300.0;     // 6T at 128 rows
+constexpr double kPerPort = 0.0798;   // +~24 mV per added read port at 128 rows
+
+}  // namespace
+
+WriteAssistModel::WriteAssistModel(const TechnologyParams& tech) : tech_(&tech) {}
+
+WriteAssistResult WriteAssistModel::evaluate(std::size_t rows,
+                                             std::size_t read_ports) const {
+  const double magnitude_mv = kBaseMv * (static_cast<double>(rows) / 128.0) *
+                              (1.0 + kPerPort * static_cast<double>(read_ports));
+  WriteAssistResult r;
+  r.required_vwd = util::millivolts(-magnitude_mv);
+  r.yielding = util::in_millivolts(r.required_vwd) >= calib::kMaxNegativeBitlineMv;
+  return r;
+}
+
+std::size_t WriteAssistModel::max_valid_rows(std::size_t read_ports) const {
+  std::size_t best = 0;
+  for (std::size_t rows = 1; rows <= 4096; rows *= 2) {
+    if (evaluate(rows, read_ports).yielding) best = rows;
+  }
+  return best;
+}
+
+double WriteAssistModel::energy_multiplier(Voltage vwd) const {
+  const double vdd = util::in_volts(tech_->vdd);
+  const double swing = vdd + std::fabs(util::in_volts(vwd));
+  return (swing * swing) / (vdd * vdd);
+}
+
+}  // namespace esam::tech

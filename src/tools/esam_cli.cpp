@@ -1,0 +1,272 @@
+// esam -- command-line front end to the ESAM reproduction.
+//
+//   esam info                         technology + cell variant summary
+//   esam report [options]             train/load the model, run the system,
+//                                     print the Fig. 8 / Table 3 metrics
+//   esam sweep-cells [options]        all five cells side by side (Fig. 8)
+//   esam sweep-vprech                 the Fig. 7 precharge-voltage study
+//   esam learn                        sec. 4.4.1 learning-cost comparison
+//
+// Options for report / sweep-cells:
+//   --cell NAME         1RW | 1RW+1R | 1RW+2R | 1RW+3R | 1RW+4R  (report)
+//   --vprech MV         precharge voltage in millivolts (default 500)
+//   --inferences N      test inferences to stream (default 500)
+//   --trace FILE.vcd    write a pipeline activity trace (report)
+//   --low-power         use the HVT 500 mV operating point (report)
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "esam/arch/trace.hpp"
+#include "esam/core/esam.hpp"
+#include "esam/learning/online_learner.hpp"
+#include "esam/sram/timing.hpp"
+#include "esam/util/table.hpp"
+
+using namespace esam;
+
+namespace {
+
+struct CliOptions {
+  sram::CellKind cell = sram::CellKind::k1RW4R;
+  double vprech_mv = 500.0;
+  std::size_t inferences = 500;
+  std::string trace_path;
+  bool low_power = false;
+};
+
+std::optional<sram::CellKind> parse_cell(const std::string& name) {
+  for (sram::CellKind k : sram::kAllCellKinds) {
+    if (name == sram::to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: esam <info|report|sweep-cells|sweep-vprech|learn> "
+               "[--cell NAME] [--vprech MV] [--inferences N] "
+               "[--trace FILE.vcd] [--low-power]\n");
+  return 2;
+}
+
+std::optional<CliOptions> parse_options(int argc, char** argv, int first) {
+  CliOptions opt;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--cell") {
+      const char* v = need_value();
+      if (v == nullptr) return std::nullopt;
+      const auto cell = parse_cell(v);
+      if (!cell) {
+        std::fprintf(stderr, "unknown cell '%s'\n", v);
+        return std::nullopt;
+      }
+      opt.cell = *cell;
+    } else if (arg == "--vprech") {
+      const char* v = need_value();
+      if (v == nullptr) return std::nullopt;
+      opt.vprech_mv = std::atof(v);
+    } else if (arg == "--inferences") {
+      const char* v = need_value();
+      if (v == nullptr) return std::nullopt;
+      opt.inferences = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--trace") {
+      const char* v = need_value();
+      if (v == nullptr) return std::nullopt;
+      opt.trace_path = v;
+    } else if (arg == "--low-power") {
+      opt.low_power = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+int cmd_info() {
+  for (const tech::TechnologyParams* t :
+       {&tech::imec3nm(), &tech::imec3nm_low_power()}) {
+    util::Table table(std::string("technology: ") + t->name);
+    table.header({"parameter", "value"});
+    table.row({"VDD", util::to_string(t->vdd)});
+    table.row({"Vprech (nominal)", util::to_string(t->vprech_nominal)});
+    table.row({"Vth", util::to_string(t->vth)});
+    table.row({"FO4", util::to_string(t->fo4_delay)});
+    table.row({"cell leakage", util::to_string(t->cell_leakage)});
+    table.print();
+    std::printf("\n");
+  }
+  util::Table cells("bitcell variants (128x128 arrays, Vprech 500 mV)");
+  cells.header({"cell", "area [um^2]", "transistors", "read ports",
+                "clock [ns]", "required VWD [mV]"});
+  for (sram::CellKind k : sram::kAllCellKinds) {
+    const sram::BitcellSpec spec = sram::BitcellSpec::of(k);
+    const sram::SramTimingModel m(tech::imec3nm(), spec, {},
+                                  util::millivolts(500.0));
+    const std::size_t idx = sram::index_of(k);
+    cells.row({std::string(sram::to_string(k)),
+               util::fmt("%.5f", spec.area_um2()),
+               util::fmt("%zu", spec.transistor_count),
+               util::fmt("%zu", spec.read_ports),
+               util::fmt("%.2f",
+                         std::max(tech::calib::kTable2ArbiterNs[idx],
+                                  tech::calib::kTable2SramNeuronNs[idx])),
+               util::fmt("%.0f", util::in_millivolts(m.required_vwd()))});
+  }
+  cells.print();
+  return 0;
+}
+
+core::TrainedModel load_model() {
+  core::ModelConfig mc;
+  mc.verbose = true;
+  return core::TrainedModel::create(mc);
+}
+
+int cmd_report(const CliOptions& opt) {
+  const core::TrainedModel model = load_model();
+  const tech::TechnologyParams& node =
+      opt.low_power ? tech::imec3nm_low_power() : tech::imec3nm();
+  arch::SystemConfig hw;
+  hw.cell = opt.cell;
+  hw.vprech = opt.low_power ? node.vprech_nominal
+                            : util::millivolts(opt.vprech_mv);
+  hw.clock_derate = opt.low_power ? 2.5 : 1.0;
+  arch::SystemSimulator sim(node, model.snn, hw);
+
+  std::size_t n = std::min(opt.inferences, model.data.test.size());
+  if (n == 0) n = model.data.test.size();
+  std::vector<util::BitVec> inputs(model.data.test.spikes.begin(),
+                                   model.data.test.spikes.begin() +
+                                       static_cast<std::ptrdiff_t>(n));
+  std::vector<std::uint8_t> labels(model.data.test.labels.begin(),
+                                   model.data.test.labels.begin() +
+                                       static_cast<std::ptrdiff_t>(n));
+
+  std::unique_ptr<arch::VcdTraceWriter> tracer;
+  if (!opt.trace_path.empty()) {
+    tracer = std::make_unique<arch::VcdTraceWriter>(opt.trace_path);
+  }
+  const arch::RunResult r = sim.run(inputs, &labels, tracer.get());
+
+  util::Table table(std::string("esam report -- ") +
+                    std::string(sram::to_string(opt.cell)) + " @ " +
+                    node.name);
+  table.header({"metric", "value"});
+  table.row({"clock", util::to_string(sim.clock_frequency())});
+  table.row({"throughput",
+             util::fmt("%.1f MInf/s", r.throughput_inf_per_s / 1e6)});
+  table.row({"energy / inference",
+             util::to_string(r.energy_per_inference)});
+  table.row({"power", util::to_string(r.average_power)});
+  table.row({"area", util::to_string(sim.area().total)});
+  table.row({"accuracy", util::fmt("%.2f %%", 100.0 * r.accuracy)});
+  table.row({"cycles / inference",
+             util::fmt("%.1f", r.avg_cycles_per_inference)});
+  for (int c = 0; c < static_cast<int>(util::EnergyCategory::kCount); ++c) {
+    const auto cat = static_cast<util::EnergyCategory>(c);
+    table.row({"  energy: " + std::string(util::to_string(cat)),
+               util::fmt("%.1f pJ/inf",
+                         util::in_picojoules(r.ledger.energy(cat)) /
+                             static_cast<double>(n))});
+  }
+  table.print();
+  if (tracer) {
+    std::printf("pipeline trace written to %s (%llu cycles)\n",
+                opt.trace_path.c_str(),
+                static_cast<unsigned long long>(tracer->cycles_written()));
+  }
+  return 0;
+}
+
+int cmd_sweep_cells(const CliOptions& opt) {
+  const core::TrainedModel model = load_model();
+  util::Table table("cell sweep (Fig. 8)");
+  table.header({"cell", "clock [MHz]", "thr [MInf/s]", "energy [pJ/Inf]",
+                "power [mW]", "area [um^2]"});
+  for (sram::CellKind k : sram::kAllCellKinds) {
+    arch::SystemConfig hw;
+    hw.cell = k;
+    hw.vprech = util::millivolts(opt.vprech_mv);
+    core::EsamSystem system(model, hw);
+    const core::SystemReport r = system.evaluate(opt.inferences);
+    table.row({r.cell, util::fmt("%.0f", r.clock_mhz),
+               util::fmt("%.1f", r.throughput_minf_per_s),
+               util::fmt("%.0f", r.energy_per_inf_pj),
+               util::fmt("%.1f", r.power_mw),
+               util::fmt("%.0f", r.area_um2)});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_sweep_vprech() {
+  util::Table table("Vprech sweep, per-op access time/energy (Fig. 7)");
+  table.header({"Vprech [mV]", "1 port", "2 ports", "3 ports", "4 ports"});
+  for (double v : {400.0, 500.0, 600.0, 700.0}) {
+    std::vector<std::string> row{util::fmt("%.0f", v)};
+    for (std::size_t p = 1; p <= 4; ++p) {
+      const sram::SramTimingModel m(tech::imec3nm(),
+                                    sram::BitcellSpec::of(sram::kAllCellKinds[p]),
+                                    {}, util::millivolts(v));
+      row.push_back(util::fmt(
+          "%.0fps/%.0ffJ",
+          util::in_picoseconds(m.average_access_time_full_utilization()),
+          util::in_femtojoules(m.average_access_energy_full_utilization())));
+    }
+    table.row(std::move(row));
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_learn() {
+  util::Table table("column-update cost (sec. 4.4.1)");
+  table.header({"cell", "column read [ns]", "column write [ns]",
+                "vs 6T baseline"});
+  const sram::SramTimingModel base(tech::imec3nm(),
+                                   sram::BitcellSpec::of(sram::CellKind::k1RW),
+                                   {}, util::millivolts(500.0));
+  for (sram::CellKind k : sram::kAllCellKinds) {
+    const sram::SramTimingModel m(tech::imec3nm(), sram::BitcellSpec::of(k),
+                                  {}, util::millivolts(500.0));
+    const double rd = util::in_nanoseconds(m.line_read().time);
+    const double wr = util::in_nanoseconds(m.line_write().time);
+    table.row({std::string(sram::to_string(k)), util::fmt("%.2f", rd),
+               util::fmt("%.2f", wr),
+               k == sram::CellKind::k1RW
+                   ? "1.0x (2 x 128 cycles)"
+                   : util::fmt("%.1fx faster RMW",
+                               tech::calib::kBaselineColumnUpdateNs /
+                                   (rd + wr))});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto opt = parse_options(argc, argv, 2);
+  if (!opt) return usage();
+  try {
+    if (cmd == "info") return cmd_info();
+    if (cmd == "report") return cmd_report(*opt);
+    if (cmd == "sweep-cells") return cmd_sweep_cells(*opt);
+    if (cmd == "sweep-vprech") return cmd_sweep_vprech();
+    if (cmd == "learn") return cmd_learn();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esam: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,132 @@
+#include "esam/util/bitvec.hpp"
+
+#include <bit>
+
+namespace esam::util {
+
+BitVec BitVec::from_string(const std::string& s) {
+  BitVec v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '1') {
+      v.set(i);
+    } else if (c != '0') {
+      throw std::invalid_argument("BitVec::from_string: bad character");
+    }
+  }
+  return v;
+}
+
+void BitVec::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVec::fill() {
+  for (auto& w : words_) w = ~std::uint64_t{0};
+  trim();
+}
+
+std::size_t BitVec::count() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::any() const {
+  for (auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t BitVec::find_first() const {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0) {
+      return wi * 64 + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+    }
+  }
+  return size_;
+}
+
+std::size_t BitVec::find_next(std::size_t from) const {
+  const std::size_t start = from + 1;
+  if (start >= size_) return size_;
+  std::size_t wi = start >> 6;
+  std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (start & 63));
+  while (true) {
+    if (w != 0) {
+      return wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+    }
+    if (++wi == words_.size()) return size_;
+    w = words_[wi];
+  }
+}
+
+std::vector<std::size_t> BitVec::set_bits() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t i = find_first(); i < size_; i = find_next(i)) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  BitVec r = *this;
+  r &= o;
+  return r;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  BitVec r = *this;
+  r |= o;
+  return r;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  BitVec r = *this;
+  r ^= o;
+  return r;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec r = *this;
+  for (auto& w : r.words_) w = ~w;
+  r.trim();
+  return r;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (test(i)) s[i] = '1';
+  }
+  return s;
+}
+
+void BitVec::trim() {
+  const std::size_t used = size_ & 63;
+  if (used != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << used) - 1;
+  }
+}
+
+}  // namespace esam::util

@@ -1,0 +1,54 @@
+#include "esam/util/ledger.hpp"
+
+namespace esam::util {
+
+std::string_view to_string(EnergyCategory c) {
+  switch (c) {
+    case EnergyCategory::kSramRead: return "sram-read";
+    case EnergyCategory::kSramWrite: return "sram-write";
+    case EnergyCategory::kSramTransRead: return "sram-trans-read";
+    case EnergyCategory::kArbiter: return "arbiter";
+    case EnergyCategory::kNeuron: return "neuron";
+    case EnergyCategory::kFabric: return "fabric";
+    case EnergyCategory::kClock: return "clock";
+    case EnergyCategory::kLeakage: return "leakage";
+    case EnergyCategory::kCount: break;
+  }
+  return "unknown";
+}
+
+Energy EnergyLedger::total_energy() const {
+  Energy sum{};
+  for (const auto& e : by_category_) sum += e;
+  return sum;
+}
+
+Energy EnergyLedger::dynamic_energy() const {
+  return total_energy() - energy(EnergyCategory::kLeakage);
+}
+
+Power EnergyLedger::average_power() const {
+  if (elapsed_.base() <= 0.0) return Power{};
+  return total_energy() / elapsed_;
+}
+
+EnergyLedger EnergyLedger::since(const EnergyLedger& start) const {
+  EnergyLedger d;
+  for (std::size_t i = 0; i < by_category_.size(); ++i) {
+    d.by_category_[i] = by_category_[i] - start.by_category_[i];
+  }
+  d.elapsed_ = elapsed_ - start.elapsed_;
+  return d;
+}
+
+EnergyLedger& EnergyLedger::operator+=(const EnergyLedger& o) {
+  for (std::size_t i = 0; i < by_category_.size(); ++i) {
+    by_category_[i] += o.by_category_[i];
+  }
+  elapsed_ += o.elapsed_;
+  return *this;
+}
+
+void EnergyLedger::reset() { *this = EnergyLedger{}; }
+
+}  // namespace esam::util

@@ -1,0 +1,129 @@
+#include "esam/util/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <stdexcept>
+
+namespace esam::util {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (!header_.empty() && cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::row: expected " +
+                                std::to_string(header_.size()) + " cells, got " +
+                                std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::separator() {
+  rows_.push_back({kSeparatorMarker});
+  return *this;
+}
+
+Table& Table::note(std::string text) {
+  notes_.push_back(std::move(text));
+  return *this;
+}
+
+std::string Table::render() const {
+  // Column widths over header + data rows.
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() == 1 && cells[0] == kSeparatorMarker) return;
+    widths.resize(std::max(widths.size(), cells.size()), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto rule = [&](char fill, char join) {
+    std::string s = "+";
+    for (auto w : widths) {
+      s.append(w + 2, fill);
+      s += join;
+    }
+    s.back() = '+';
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      s += ' ';
+      s += c;
+      s.append(widths[i] - c.size() + 1, ' ');
+      s += '|';
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  out += rule('-', '+');
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule('=', '+');
+  }
+  for (const auto& r : rows_) {
+    if (r.size() == 1 && r[0] == kSeparatorMarker) {
+      out += rule('-', '+');
+    } else {
+      out += line(r);
+    }
+  }
+  out += rule('-', '+');
+  for (const auto& n : notes_) out += "  " + n + "\n";
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += '"';
+      q += c;
+    }
+    q += '"';
+    return q;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    if (cells.size() == 1 && cells[0] == kSeparatorMarker) return;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out += ',';
+      out += escape(cells[i]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string fmt(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, format, copy);
+  va_end(copy);
+  std::string s(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(s.data(), s.size() + 1, format, args);
+  va_end(args);
+  return s;
+}
+
+}  // namespace esam::util

@@ -1,0 +1,59 @@
+#include "esam/util/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace esam::util {
+namespace {
+
+struct Prefix {
+  double scale;
+  const char* symbol;
+};
+
+// Engineering prefixes from atto to giga, chosen so the mantissa lands in
+// [1, 1000).
+constexpr std::array<Prefix, 10> kPrefixes{{{1e-18, "a"},
+                                            {1e-15, "f"},
+                                            {1e-12, "p"},
+                                            {1e-9, "n"},
+                                            {1e-6, "u"},
+                                            {1e-3, "m"},
+                                            {1e0, ""},
+                                            {1e3, "k"},
+                                            {1e6, "M"},
+                                            {1e9, "G"}}};
+
+std::string format_engineering(double base, const char* unit) {
+  if (base == 0.0) return std::string("0 ") + unit;
+  const double mag = std::fabs(base);
+  const Prefix* chosen = &kPrefixes.front();
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale) chosen = &p;
+  }
+  const double mantissa = base / chosen->scale;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g %s%s", mantissa, chosen->symbol, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Time t) { return format_engineering(t.base(), "s"); }
+std::string to_string(Energy e) { return format_engineering(e.base(), "J"); }
+std::string to_string(Power p) { return format_engineering(p.base(), "W"); }
+std::string to_string(Voltage v) { return format_engineering(v.base(), "V"); }
+std::string to_string(Frequency f) { return format_engineering(f.base(), "Hz"); }
+
+std::string to_string(Area a) {
+  char buf[64];
+  const double um2 = in_square_microns(a);
+  if (um2 >= 1e4) {
+    std::snprintf(buf, sizeof buf, "%.4g mm^2", in_square_millimetres(a));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g um^2", um2);
+  }
+  return buf;
+}
+
+}  // namespace esam::util

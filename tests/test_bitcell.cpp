@@ -1,0 +1,82 @@
+// Tests for the bitcell geometry model (paper sec. 3.2 / 4.2).
+#include <gtest/gtest.h>
+
+#include "esam/sram/bitcell.hpp"
+
+namespace esam::sram {
+namespace {
+
+TEST(Bitcell, Names) {
+  EXPECT_EQ(to_string(CellKind::k1RW), "1RW");
+  EXPECT_EQ(to_string(CellKind::k1RW1R), "1RW+1R");
+  EXPECT_EQ(to_string(CellKind::k1RW4R), "1RW+4R");
+}
+
+TEST(Bitcell, PaperAreaMultipliers) {
+  // Sec 4.2: 1.5x, 1.875x, 2.25x, 2.625x vs the 0.01512 um^2 6T.
+  const double expected[5] = {1.0, 1.5, 1.875, 2.25, 2.625};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const BitcellSpec s = BitcellSpec::of(kAllCellKinds[i]);
+    EXPECT_DOUBLE_EQ(s.area_multiplier, expected[i]);
+    EXPECT_NEAR(s.area_um2(), 0.01512 * expected[i], 1e-12);
+    EXPECT_EQ(s.read_ports, i);
+  }
+}
+
+TEST(Bitcell, TransistorCounts) {
+  // 6T core; multiport adds mirror M7 plus one access device per port
+  // (Fig. 3: M1-M6 + M7 + M8..M11).
+  EXPECT_EQ(BitcellSpec::of(CellKind::k1RW).transistor_count, 6u);
+  EXPECT_EQ(BitcellSpec::of(CellKind::k1RW1R).transistor_count, 8u);
+  EXPECT_EQ(BitcellSpec::of(CellKind::k1RW4R).transistor_count, 11u);
+}
+
+TEST(Bitcell, FootprintConsistentWithArea) {
+  for (CellKind k : kAllCellKinds) {
+    const BitcellSpec s = BitcellSpec::of(k);
+    EXPECT_NEAR(s.width_um() * s.height_um(), s.area_um2(), 1e-12)
+        << to_string(k);
+  }
+}
+
+TEST(Bitcell, GrowthIsWidthDominant) {
+  const BitcellSpec base = BitcellSpec::of(CellKind::k1RW);
+  const BitcellSpec four = BitcellSpec::of(CellKind::k1RW4R);
+  const double w_growth = four.width_um() / base.width_um();
+  const double h_growth = four.height_um() / base.height_um();
+  EXPECT_GT(w_growth, h_growth);
+  EXPECT_GT(h_growth, 1.0);
+}
+
+TEST(Bitcell, TrackWidthFactorsShrinkWithPorts) {
+  // Each added port squeezes another RBL into the vertical layer and
+  // another RWL into the horizontal layer.
+  double prev_v = 10.0, prev_h = 10.0;
+  for (CellKind k : kAllCellKinds) {
+    const BitcellSpec s = BitcellSpec::of(k);
+    EXPECT_LT(s.vertical_track_width_factor(), prev_v) << to_string(k);
+    EXPECT_LE(s.horizontal_track_width_factor(), prev_h + 1e-12) << to_string(k);
+    prev_v = s.vertical_track_width_factor();
+    prev_h = s.horizontal_track_width_factor();
+  }
+  // The 6T dedicates full tracks.
+  EXPECT_NEAR(BitcellSpec::of(CellKind::k1RW).vertical_track_width_factor(),
+              1.0, 1e-12);
+  EXPECT_NEAR(BitcellSpec::of(CellKind::k1RW).horizontal_track_width_factor(),
+              1.0, 1e-12);
+}
+
+TEST(Bitcell, HypotheticalFifthPortPays87Point5Percent) {
+  // Sec 4.2: "Adding another port would ... increas[e] the area by 87.5% of
+  // the 6T cell, making it too area-inefficient."
+  const BitcellSpec five = BitcellSpec::hypothetical(5);
+  EXPECT_EQ(five.read_ports, 5u);
+  EXPECT_NEAR(five.area_multiplier, 2.625 + 0.875, 1e-12);
+  const BitcellSpec six = BitcellSpec::hypothetical(6);
+  EXPECT_NEAR(six.area_multiplier, 2.625 + 2 * 0.875, 1e-12);
+  // <= 4 ports aliases the paper cells.
+  EXPECT_NEAR(BitcellSpec::hypothetical(3).area_multiplier, 2.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace esam::sram

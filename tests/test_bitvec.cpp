@@ -1,0 +1,139 @@
+// Unit + property tests for BitVec (the request/grant/row vector type).
+#include <gtest/gtest.h>
+
+#include "esam/util/bitvec.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::util {
+namespace {
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_EQ(v.find_first(), 130u);
+}
+
+TEST(BitVec, SetResetTest) {
+  BitVec v(128);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(127);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(127));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(16);
+  EXPECT_THROW(v.set(16), std::out_of_range);
+  EXPECT_THROW((void)v.test(100), std::out_of_range);
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+  BitVec a(8), b(9);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+}
+
+TEST(BitVec, FindFirstAndNext) {
+  BitVec v(200);
+  v.set(5);
+  v.set(64);
+  v.set(199);
+  EXPECT_EQ(v.find_first(), 5u);
+  EXPECT_EQ(v.find_next(5), 64u);
+  EXPECT_EQ(v.find_next(64), 199u);
+  EXPECT_EQ(v.find_next(199), 200u);
+}
+
+TEST(BitVec, SetBitsEnumeration) {
+  BitVec v = BitVec::from_string("0100100001");
+  const std::vector<std::size_t> expected{1, 4, 9};
+  EXPECT_EQ(v.set_bits(), expected);
+}
+
+TEST(BitVec, FromStringAndToString) {
+  const std::string s = "10110000101";
+  EXPECT_EQ(BitVec::from_string(s).to_string(), s);
+  EXPECT_THROW(BitVec::from_string("01x"), std::invalid_argument);
+}
+
+TEST(BitVec, FillAndClear) {
+  BitVec v(70);
+  v.fill();
+  EXPECT_EQ(v.count(), 70u);
+  v.clear();
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, ComplementRespectsWidth) {
+  BitVec v(70);
+  v.set(3);
+  const BitVec c = ~v;
+  EXPECT_EQ(c.count(), 69u);
+  EXPECT_FALSE(c.test(3));
+  // No stray bits beyond the width in the storage words.
+  EXPECT_EQ((c.words().back() >> (70 % 64)), 0u);
+}
+
+TEST(BitVec, BitwiseOps) {
+  const BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+}
+
+TEST(BitVec, EqualityIncludesWidth) {
+  BitVec a(8), b(8), c(9);
+  a.set(2);
+  b.set(2);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+// Property: find_next enumerates exactly the set bits, in order.
+TEST(BitVecProperty, EnumerationMatchesMembership) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(300);
+    BitVec v(n);
+    std::vector<std::size_t> truth;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.3)) {
+        v.set(i);
+        truth.push_back(i);
+      }
+    }
+    EXPECT_EQ(v.set_bits(), truth);
+    EXPECT_EQ(v.count(), truth.size());
+  }
+}
+
+// Property: De Morgan over random vectors.
+TEST(BitVecProperty, DeMorgan) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(200);
+    BitVec a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.5)) a.set(i);
+      if (rng.bernoulli(0.5)) b.set(i);
+    }
+    EXPECT_EQ(~(a & b), (~a | ~b));
+    EXPECT_EQ(~(a | b), (~a & ~b));
+  }
+}
+
+}  // namespace
+}  // namespace esam::util

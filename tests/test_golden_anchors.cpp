@@ -1,0 +1,188 @@
+// Golden-anchor tests: every quantitative claim in the paper text, checked
+// end-to-end against the models (see DESIGN.md sec. 4 for the acceptance
+// bands). System-level anchors run on a random paper-shaped network --
+// throughput/energy depend on spike statistics (input density ~19 %, hidden
+// activity ~50 %), not on trained weights.
+#include <gtest/gtest.h>
+
+#include "esam/arch/system.hpp"
+#include "esam/sram/macro.hpp"
+#include "esam/tech/calibration.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam {
+namespace {
+
+namespace calib = tech::calib;
+
+// --- Table 2 ------------------------------------------------------------------
+
+TEST(GoldenTable2, StageDelaysWithinFivePercent) {
+  const auto& t = tech::imec3nm();
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto kind = sram::kAllCellKinds[i];
+    const sram::SramTimingModel sram_model(t, sram::BitcellSpec::of(kind),
+                                           sram::ArrayGeometry{},
+                                           t.vprech_nominal);
+    const neuron::NeuronArrayModel neuron_model(
+        t, {}, std::max<std::size_t>(i, 1));
+    const double stage_ns =
+        util::in_nanoseconds(sram_model.inference_read_time()) +
+        util::in_nanoseconds(neuron_model.accumulate_delay());
+    EXPECT_NEAR(stage_ns, calib::kTable2SramNeuronNs[i],
+                0.05 * calib::kTable2SramNeuronNs[i])
+        << sram::to_string(kind);
+  }
+}
+
+TEST(GoldenTable2, ArbiterStageDoesNotScaleWithPorts) {
+  const double lo =
+      *std::min_element(calib::kTable2ArbiterNs.begin(),
+                        calib::kTable2ArbiterNs.end());
+  const double hi =
+      *std::max_element(calib::kTable2ArbiterNs.begin(),
+                        calib::kTable2ArbiterNs.end());
+  EXPECT_LT((hi - lo) / lo, 0.05);
+}
+
+TEST(GoldenTable2, SramNeuronStageBecomesBottleneckWithPorts) {
+  // "with more added ports the SRAM Read + Neuron accumulation stage
+  // becomes the bottleneck": true for every multiport cell, false for 6T.
+  EXPECT_LT(calib::kTable2SramNeuronNs[0], calib::kTable2ArbiterNs[0]);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_GT(calib::kTable2SramNeuronNs[i], calib::kTable2ArbiterNs[i]);
+  }
+}
+
+// --- Section 4.4.1 (online learning) --------------------------------------------
+
+TEST(GoldenLearning, BaselineColumnUpdateCost) {
+  const auto& t = tech::imec3nm();
+  const sram::SramMacro m(t, sram::BitcellSpec::of(sram::CellKind::k1RW),
+                          sram::ArrayGeometry{}, t.vprech_nominal);
+  const auto cost = m.column_update_cost();
+  EXPECT_NEAR(util::in_nanoseconds(cost.time), calib::kBaselineColumnUpdateNs,
+              0.01 * calib::kBaselineColumnUpdateNs);
+  EXPECT_NEAR(util::in_picojoules(cost.energy), calib::kBaselineColumnUpdatePj,
+              0.01 * calib::kBaselineColumnUpdatePj);
+}
+
+TEST(GoldenLearning, ProposedColumnReadWriteGains) {
+  const auto& t = tech::imec3nm();
+  const sram::SramMacro m(t, sram::BitcellSpec::of(sram::CellKind::k1RW4R),
+                          sram::ArrayGeometry{}, t.vprech_nominal);
+  const double read_ns = util::in_nanoseconds(m.timing().line_read().time);
+  const double write_ns = util::in_nanoseconds(m.timing().line_write().time);
+  EXPECT_NEAR(read_ns, calib::kProposedColumnReadNs, 0.05);
+  EXPECT_NEAR(write_ns, calib::kProposedColumnWriteNs, 0.05);
+  EXPECT_NEAR(calib::kBaselineColumnUpdateNs / read_ns, calib::kColumnReadGain,
+              0.1 * calib::kColumnReadGain);
+  EXPECT_NEAR(calib::kBaselineColumnWriteOnlyNs / write_ns,
+              calib::kColumnWriteGain, 0.1 * calib::kColumnWriteGain);
+}
+
+// --- System level (Fig. 8 / Table 3) --------------------------------------------
+
+class GoldenSystem : public ::testing::Test {
+ protected:
+  static const arch::RunResult& result_4r() { return results()[0]; }
+  static const arch::RunResult& result_1rw() { return results()[1]; }
+  static arch::SystemSimulator& sim_4r() { return sims()[0]; }
+  static arch::SystemSimulator& sim_1rw() { return sims()[1]; }
+
+  static std::vector<arch::SystemSimulator>& sims() {
+    static std::vector<arch::SystemSimulator> s = [] {
+      std::vector<arch::SystemSimulator> out;
+      arch::SystemConfig cfg4;
+      cfg4.cell = sram::CellKind::k1RW4R;
+      arch::SystemConfig cfg1;
+      cfg1.cell = sram::CellKind::k1RW;
+      out.emplace_back(tech::imec3nm(), snn(), cfg4);
+      out.emplace_back(tech::imec3nm(), snn(), cfg1);
+      return out;
+    }();
+    return s;
+  }
+
+  static const nn::SnnNetwork& snn() {
+    static const nn::SnnNetwork net = [] {
+      util::Rng rng(2024);
+      nn::BnnNetwork bnn({768, 256, 256, 256, 10}, rng);
+      for (auto& l : bnn.layers()) {
+        for (auto& b : l.bias) b = static_cast<float>(rng.uniform(-2.0, 2.0));
+      }
+      return nn::SnnNetwork::from_bnn(bnn);
+    }();
+    return net;
+  }
+
+  static const std::vector<arch::RunResult>& results() {
+    static const std::vector<arch::RunResult> r = [] {
+      // MNIST-like input statistics: 19 % spike density over 768 inputs.
+      util::Rng rng(777);
+      std::vector<util::BitVec> inputs;
+      for (int i = 0; i < 300; ++i) {
+        util::BitVec v(768);
+        for (std::size_t k = 0; k < 768; ++k) {
+          if (rng.bernoulli(0.19)) v.set(k);
+        }
+        inputs.push_back(std::move(v));
+      }
+      std::vector<arch::RunResult> out;
+      out.push_back(sims()[0].run(inputs));
+      out.push_back(sims()[1].run(inputs));
+      return out;
+    }();
+    return r;
+  }
+};
+
+TEST_F(GoldenSystem, ClockIs810MHz) {
+  EXPECT_NEAR(util::in_megahertz(sim_4r().clock_frequency()),
+              calib::kSystemClockMhz, 0.01 * calib::kSystemClockMhz);
+}
+
+TEST_F(GoldenSystem, ThroughputNear44MInfPerS) {
+  EXPECT_NEAR(result_4r().throughput_inf_per_s / 1e6,
+              calib::kSystemThroughputMInfPerS,
+              0.15 * calib::kSystemThroughputMInfPerS);
+}
+
+TEST_F(GoldenSystem, EnergyNear607pJPerInference) {
+  EXPECT_NEAR(util::in_picojoules(result_4r().energy_per_inference),
+              calib::kSystemEnergyPerInfPj,
+              0.15 * calib::kSystemEnergyPerInfPj);
+}
+
+TEST_F(GoldenSystem, PowerNear29mW) {
+  EXPECT_NEAR(util::in_milliwatts(result_4r().average_power),
+              calib::kSystemPowerMw, 0.15 * calib::kSystemPowerMw);
+}
+
+TEST_F(GoldenSystem, SpeedupNear3Point1x) {
+  const double speedup = result_4r().throughput_inf_per_s /
+                         result_1rw().throughput_inf_per_s;
+  EXPECT_NEAR(speedup, calib::kArraySpeedup, 0.15 * calib::kArraySpeedup);
+}
+
+TEST_F(GoldenSystem, EnergyGainNear2Point2x) {
+  const double gain = util::in_picojoules(result_1rw().energy_per_inference) /
+                      util::in_picojoules(result_4r().energy_per_inference);
+  EXPECT_NEAR(gain, calib::kArrayEnergyGain, 0.15 * calib::kArrayEnergyGain);
+}
+
+TEST_F(GoldenSystem, AreaRatioNear2Point4x) {
+  const double ratio = util::in_square_microns(sim_4r().area().total) /
+                       util::in_square_microns(sim_1rw().area().total);
+  EXPECT_NEAR(ratio, calib::kSystemAreaRatio4RvsBaseline, 0.12);
+}
+
+TEST_F(GoldenSystem, NeuronAndSynapseCountsMatchTable3) {
+  EXPECT_EQ(sim_4r().neuron_count(), calib::kSystemNeuronCount);
+  EXPECT_NEAR(static_cast<double>(sim_4r().synapse_count()),
+              static_cast<double>(calib::kSystemSynapseCount), 1000.0);
+}
+
+}  // namespace
+}  // namespace esam

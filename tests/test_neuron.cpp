@@ -1,0 +1,133 @@
+// Tests for the IF neuron (Fig. 5) and the neuron array cost model.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "esam/neuron/neuron.hpp"
+#include "esam/tech/calibration.hpp"
+#include "esam/tech/technology.hpp"
+
+namespace esam::neuron {
+namespace {
+
+TEST(IfNeuron, IntegratesValidatedBits) {
+  IfNeuron n({.vmem_bits = 8, .vth_bits = 8}, 2);
+  // Fig. 5: {1,0} decode to {+1,-1}, but only for valid ports.
+  const std::array<bool, 4> bits{true, false, true, true};
+  const std::array<bool, 4> valid{true, true, false, true};
+  n.integrate(bits, valid);
+  EXPECT_EQ(n.vmem(), 1);  // +1 -1 (skipped) +1
+}
+
+TEST(IfNeuron, InvalidPortsDoNotCount) {
+  // "This ensures an unused port is not erroneously read as a '1'".
+  IfNeuron n({}, 0);
+  const std::array<bool, 4> bits{true, true, true, true};
+  const std::array<bool, 4> valid{false, false, false, false};
+  n.integrate(bits, valid);
+  EXPECT_EQ(n.vmem(), 0);
+}
+
+TEST(IfNeuron, SpanSizeMismatchThrows) {
+  IfNeuron n({}, 0);
+  const std::array<bool, 3> bits{true, false, true};
+  const std::array<bool, 4> valid{true, true, true, true};
+  EXPECT_THROW(n.integrate(bits, valid), std::invalid_argument);
+}
+
+TEST(IfNeuron, FiresAtThresholdAndResets) {
+  IfNeuron n({}, 3);
+  n.integrate_sum(2);
+  EXPECT_FALSE(n.on_r_empty());
+  EXPECT_FALSE(n.request());
+  n.integrate_sum(1);  // vmem = 3 >= vth = 3
+  EXPECT_TRUE(n.on_r_empty());
+  EXPECT_TRUE(n.request());
+  EXPECT_EQ(n.vmem(), 0);  // reset after firing
+}
+
+TEST(IfNeuron, NegativeThresholdFiresOnZero) {
+  IfNeuron n({}, -5);
+  EXPECT_TRUE(n.on_r_empty());  // vmem 0 >= -5
+}
+
+TEST(IfNeuron, RequestHeldUntilGranted) {
+  // "If the Neuron's spike request r is granted (g = 1), r is reset to 0."
+  IfNeuron n({}, 1);
+  n.integrate_sum(5);
+  n.on_r_empty();
+  EXPECT_TRUE(n.request());
+  n.on_r_empty();  // still pending; vmem stayed 0 < 1 so no new fire
+  EXPECT_TRUE(n.request());
+  n.grant();
+  EXPECT_FALSE(n.request());
+}
+
+TEST(IfNeuron, SaturatesAtRegisterLimits) {
+  IfNeuron n({.vmem_bits = 4, .vth_bits = 4}, 0);  // range [-8, 7]
+  n.integrate_sum(100);
+  EXPECT_EQ(n.vmem(), 7);
+  n.integrate_sum(-100);
+  EXPECT_EQ(n.vmem(), -8);
+  EXPECT_EQ(n.saturation_max(), 7);
+  EXPECT_EQ(n.saturation_min(), -8);
+}
+
+TEST(IfNeuron, VthMustFitRegister) {
+  EXPECT_THROW(IfNeuron({.vmem_bits = 8, .vth_bits = 4}, 100),
+               std::invalid_argument);
+  IfNeuron n({.vmem_bits = 8, .vth_bits = 4}, 0);
+  EXPECT_THROW(n.set_vth(8), std::invalid_argument);   // max is 7
+  EXPECT_NO_THROW(n.set_vth(-8));
+}
+
+TEST(IfNeuron, BadRegisterWidthsRejected) {
+  EXPECT_THROW(IfNeuron({.vmem_bits = 1, .vth_bits = 8}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(IfNeuron({.vmem_bits = 8, .vth_bits = 32}, 0),
+               std::invalid_argument);
+}
+
+TEST(IfNeuron, ResetClearsState) {
+  IfNeuron n({}, 1);
+  n.integrate_sum(10);
+  n.on_r_empty();
+  n.reset();
+  EXPECT_EQ(n.vmem(), 0);
+  EXPECT_FALSE(n.request());
+}
+
+TEST(NeuronArrayModel, AccumulateDelayMatchesTable2Split) {
+  const auto& t = tech::imec3nm();
+  for (std::size_t ports = 1; ports <= 4; ++ports) {
+    const NeuronArrayModel m(t, {}, ports);
+    EXPECT_NEAR(util::in_nanoseconds(m.accumulate_delay()),
+                tech::calib::kNeuronStageNs[ports], 1e-6)
+        << "ports " << ports;
+  }
+  // The 6T baseline (0 decoupled ports) behaves as a 1-input neuron.
+  const NeuronArrayModel m0(t, {}, 0);
+  EXPECT_NEAR(util::in_nanoseconds(m0.accumulate_delay()),
+              tech::calib::kNeuronStageNs[1], 1e-6);
+}
+
+TEST(NeuronArrayModel, EnergyGrowsWithActiveInputs) {
+  const NeuronArrayModel m(tech::imec3nm(), {}, 4);
+  EXPECT_GT(m.accumulate_energy(4).base(), m.accumulate_energy(1).base());
+  EXPECT_GT(m.compare_energy().base(), 0.0);
+}
+
+TEST(NeuronArrayModel, AreaGrowsWithPortsAndWidths) {
+  const auto& t = tech::imec3nm();
+  const NeuronArrayModel p1(t, {}, 1);
+  const NeuronArrayModel p4(t, {}, 4);
+  EXPECT_GT(util::in_square_microns(p4.area_per_neuron()),
+            util::in_square_microns(p1.area_per_neuron()));
+  const NeuronArrayModel wide(t, {.vmem_bits = 16, .vth_bits = 16}, 4);
+  EXPECT_GT(util::in_square_microns(wide.area_per_neuron()),
+            util::in_square_microns(p4.area_per_neuron()));
+  EXPECT_GT(p4.leakage_per_neuron().base(), 0.0);
+}
+
+}  // namespace
+}  // namespace esam::neuron

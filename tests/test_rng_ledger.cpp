@@ -1,0 +1,159 @@
+// Tests for the deterministic RNG and the energy ledger.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "esam/util/ledger.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(5);
+  std::vector<int> hist(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const auto k = rng.uniform_index(7);
+    ASSERT_LT(k, 7u);
+    ++hist[static_cast<std::size_t>(k)];
+  }
+  for (int h : hist) EXPECT_NEAR(h, 1000, 150);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+  }
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  // The child stream should not reproduce the parent's next outputs.
+  Rng b(42);
+  (void)b.next_u64();  // advance past the split draw
+  EXPECT_NE(child.next_u64(), b.next_u64());
+}
+
+TEST(EnergyLedger, AccumulatesPerCategory) {
+  EnergyLedger l;
+  l.add(EnergyCategory::kSramRead, picojoules(2.0));
+  l.add(EnergyCategory::kSramRead, picojoules(3.0));
+  l.add(EnergyCategory::kNeuron, picojoules(1.0));
+  EXPECT_NEAR(in_picojoules(l.energy(EnergyCategory::kSramRead)), 5.0, 1e-12);
+  EXPECT_NEAR(in_picojoules(l.total_energy()), 6.0, 1e-12);
+  EXPECT_NEAR(in_picojoules(l.dynamic_energy()), 6.0, 1e-12);
+}
+
+TEST(EnergyLedger, LeakageIntegration) {
+  EnergyLedger l;
+  l.advance_time_with_leakage(nanoseconds(10.0), milliwatts(1.0));
+  EXPECT_NEAR(in_picojoules(l.energy(EnergyCategory::kLeakage)), 10.0, 1e-12);
+  EXPECT_NEAR(in_nanoseconds(l.elapsed()), 10.0, 1e-12);
+  // Dynamic excludes leakage.
+  EXPECT_NEAR(in_picojoules(l.dynamic_energy()), 0.0, 1e-12);
+}
+
+TEST(EnergyLedger, AveragePower) {
+  EnergyLedger l;
+  EXPECT_EQ(in_watts(l.average_power()), 0.0);  // no elapsed time yet
+  l.add(EnergyCategory::kClock, picojoules(607.0));
+  l.advance_time(nanoseconds(21.4));
+  EXPECT_NEAR(in_milliwatts(l.average_power()), 607.0 / 21.4, 1e-9);
+}
+
+TEST(EnergyLedger, SinceDiff) {
+  EnergyLedger l;
+  l.add(EnergyCategory::kArbiter, picojoules(1.0));
+  l.advance_time(nanoseconds(1.0));
+  const EnergyLedger snapshot = l;
+  l.add(EnergyCategory::kArbiter, picojoules(2.5));
+  l.advance_time(nanoseconds(3.0));
+  const EnergyLedger d = l.since(snapshot);
+  EXPECT_NEAR(in_picojoules(d.energy(EnergyCategory::kArbiter)), 2.5, 1e-12);
+  EXPECT_NEAR(in_nanoseconds(d.elapsed()), 3.0, 1e-12);
+}
+
+TEST(EnergyLedger, PlusEqualsAndReset) {
+  EnergyLedger a, b;
+  a.add(EnergyCategory::kFabric, picojoules(1.0));
+  b.add(EnergyCategory::kFabric, picojoules(2.0));
+  b.advance_time(nanoseconds(1.0));
+  a += b;
+  EXPECT_NEAR(in_picojoules(a.energy(EnergyCategory::kFabric)), 3.0, 1e-12);
+  a.reset();
+  EXPECT_EQ(in_joules(a.total_energy()), 0.0);
+}
+
+TEST(EnergyLedger, CategoryNames) {
+  EXPECT_EQ(to_string(EnergyCategory::kSramRead), "sram-read");
+  EXPECT_EQ(to_string(EnergyCategory::kLeakage), "leakage");
+}
+
+}  // namespace
+}  // namespace esam::util

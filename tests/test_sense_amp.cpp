@@ -1,0 +1,66 @@
+// Tests for the two sense-amplifier models (paper sec. 3.2).
+#include <gtest/gtest.h>
+
+#include "esam/sram/sense_amp.hpp"
+#include "esam/tech/technology.hpp"
+
+namespace esam::sram {
+namespace {
+
+TEST(DifferentialSA, BasicProperties) {
+  const DifferentialSenseAmp sa(tech::imec3nm());
+  EXPECT_NEAR(util::in_millivolts(sa.required_swing()), 100.0, 1e-9);
+  EXPECT_GT(util::in_picoseconds(sa.sense_delay()), 0.0);
+  EXPECT_GT(util::in_femtojoules(sa.sense_energy()), 0.0);
+  EXPECT_GT(util::in_square_microns(sa.area()), 0.0);
+}
+
+TEST(InverterSA, SlowerThanDifferential) {
+  // Paper: the cascaded inverter SAs "deliver a slightly slower readout
+  // result than traditional Sense Amplifiers".
+  const auto& t = tech::imec3nm();
+  const DifferentialSenseAmp diff(t);
+  const InverterSenseAmp inv(t, t.vprech_nominal);
+  EXPECT_GT(util::in_picoseconds(inv.sense_delay()),
+            util::in_picoseconds(diff.sense_delay()));
+}
+
+TEST(InverterSA, SmallerThanDifferential) {
+  // The inverter SA fits the column pitch (one per column per port); the
+  // differential SA needs 4:1 row muxing.
+  const auto& t = tech::imec3nm();
+  const DifferentialSenseAmp diff(t);
+  const InverterSenseAmp inv(t, t.vprech_nominal);
+  EXPECT_LT(util::in_square_microns(inv.area()),
+            util::in_square_microns(diff.area()));
+}
+
+TEST(InverterSA, EnergyTracksVprechSquared) {
+  const auto& t = tech::imec3nm();
+  const InverterSenseAmp at500(t, util::millivolts(500.0));
+  const InverterSenseAmp at700(t, util::millivolts(700.0));
+  const double ratio = util::in_femtojoules(at500.sense_energy()) /
+                       util::in_femtojoules(at700.sense_energy());
+  EXPECT_NEAR(ratio, (0.5 * 0.5) / (0.7 * 0.7), 0.02);
+}
+
+TEST(InverterSA, TripSwingIsHalfVprech) {
+  const auto& t = tech::imec3nm();
+  const InverterSenseAmp sa(t, util::millivolts(500.0));
+  EXPECT_NEAR(util::in_millivolts(sa.required_swing()), 250.0, 1e-9);
+}
+
+TEST(InverterSA, DelayMildlyWorseAtHighVprech) {
+  // Sensing from a higher precharge level needs more swing before the trip
+  // point, so the delay grows slightly with Vprech.
+  const auto& t = tech::imec3nm();
+  const InverterSenseAmp at400(t, util::millivolts(400.0));
+  const InverterSenseAmp at700(t, util::millivolts(700.0));
+  EXPECT_GE(util::in_picoseconds(at700.sense_delay()),
+            util::in_picoseconds(at400.sense_delay()));
+  EXPECT_LT(util::in_picoseconds(at700.sense_delay()),
+            2.0 * util::in_picoseconds(at400.sense_delay()));
+}
+
+}  // namespace
+}  // namespace esam::sram

@@ -1,0 +1,208 @@
+// Tests for the pipelined system simulator, including the central
+// hardware/software equivalence invariant: the cycle-accurate ESAM pipeline
+// must classify bit-identically to the converted Binary-SNN reference,
+// which itself is exactly the trained BNN (test_convert.cpp).
+#include <gtest/gtest.h>
+
+#include "esam/arch/system.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::arch {
+namespace {
+
+nn::SnnNetwork random_snn(const std::vector<std::size_t>& shape,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::BnnNetwork bnn(shape, rng);
+  for (auto& l : bnn.layers()) {
+    for (auto& b : l.bias) b = static_cast<float>(rng.uniform(-5.0, 5.0));
+  }
+  return nn::SnnNetwork::from_bnn(bnn);
+}
+
+std::vector<util::BitVec> random_inputs(std::size_t n, std::size_t width,
+                                        std::uint64_t seed,
+                                        double density = 0.25) {
+  util::Rng rng(seed);
+  std::vector<util::BitVec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::BitVec v(width);
+    for (std::size_t k = 0; k < width; ++k) {
+      if (rng.bernoulli(density)) v.set(k);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(System, RejectsEmptyNetworkAndInputs) {
+  EXPECT_THROW(SystemSimulator(tech::imec3nm(), nn::SnnNetwork{}, {}),
+               std::invalid_argument);
+  const nn::SnnNetwork snn = random_snn({32, 8}, 1);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  EXPECT_THROW((void)sim.run({}), std::invalid_argument);
+  const auto inputs = random_inputs(3, 32, 2);
+  std::vector<std::uint8_t> labels(2, 0);
+  EXPECT_THROW((void)sim.run(inputs, &labels), std::invalid_argument);
+}
+
+TEST(System, OneTilePerLayer) {
+  const nn::SnnNetwork snn = random_snn({768, 256, 256, 256, 10}, 3);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  EXPECT_EQ(sim.tile_count(), 4u);
+  EXPECT_EQ(sim.neuron_count(), 778u);
+  EXPECT_EQ(sim.synapse_count(), 330240u);
+}
+
+class SystemEquivalence
+    : public ::testing::TestWithParam<sram::CellKind> {};
+
+TEST_P(SystemEquivalence, PredictionsMatchSoftwareReference) {
+  const nn::SnnNetwork snn = random_snn({96, 48, 32, 7}, 44);
+  SystemConfig cfg;
+  cfg.cell = GetParam();
+  SystemSimulator sim(tech::imec3nm(), snn, cfg);
+  const auto inputs = random_inputs(60, 96, 45);
+  const RunResult r = sim.run(inputs);
+  ASSERT_EQ(r.predictions.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ASSERT_EQ(r.predictions[i], snn.predict(inputs[i]))
+        << "inference " << i << " cell "
+        << sram::to_string(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, SystemEquivalence,
+                         ::testing::ValuesIn(sram::kAllCellKinds));
+
+TEST(System, EquivalenceOnPaperShapedNetwork) {
+  const nn::SnnNetwork snn = random_snn({768, 256, 256, 256, 10}, 46);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(25, 768, 47, 0.19);
+  const RunResult r = sim.run(inputs);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ASSERT_EQ(r.predictions[i], snn.predict(inputs[i])) << "inference " << i;
+  }
+}
+
+TEST(System, AccuracyAgainstLabels) {
+  const nn::SnnNetwork snn = random_snn({64, 32, 4}, 50);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(40, 64, 51);
+  std::vector<std::uint8_t> labels(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    labels[i] = static_cast<std::uint8_t>(snn.predict(inputs[i]));
+  }
+  const RunResult r = sim.run(inputs, &labels);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);  // labels are the model's own answers
+}
+
+TEST(System, PipeliningBeatsSerialExecution) {
+  // Streaming N inferences through L tiles must take far fewer cycles than
+  // N * (per-inference latency): tiles work on different inferences
+  // concurrently.
+  const nn::SnnNetwork snn = random_snn({128, 128, 128, 8}, 60);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto one = random_inputs(1, 128, 61);
+  const RunResult single = sim.run(one);
+
+  const auto many = random_inputs(64, 128, 61);  // same seed: same first input
+  const RunResult stream = sim.run(many);
+  EXPECT_LT(stream.avg_cycles_per_inference,
+            0.6 * static_cast<double>(single.cycles));
+  EXPECT_GT(stream.throughput_inf_per_s, 0.0);
+}
+
+TEST(System, ThroughputImprovesWithPorts) {
+  const nn::SnnNetwork snn = random_snn({256, 256, 10}, 70);
+  const auto inputs = random_inputs(50, 256, 71, 0.4);
+  double prev = 0.0;
+  for (sram::CellKind cell :
+       {sram::CellKind::k1RW1R, sram::CellKind::k1RW2R, sram::CellKind::k1RW3R,
+        sram::CellKind::k1RW4R}) {
+    SystemConfig cfg;
+    cfg.cell = cell;
+    SystemSimulator sim(tech::imec3nm(), snn, cfg);
+    const RunResult r = sim.run(inputs);
+    EXPECT_GT(r.throughput_inf_per_s, prev) << sram::to_string(cell);
+    prev = r.throughput_inf_per_s;
+  }
+}
+
+TEST(System, OnePortCellSlightlySlowerThanBaseline) {
+  // Fig. 8: "When comparing the 1RW and 1RW+1R cells, throughput decreases
+  // slightly, as the effective parallelism is the same, but read operations
+  // for the 1RW+1R cell are slower due to the added parasitics."
+  const nn::SnnNetwork snn = random_snn({256, 256, 10}, 80);
+  const auto inputs = random_inputs(50, 256, 81, 0.4);
+  SystemConfig base_cfg;
+  base_cfg.cell = sram::CellKind::k1RW;
+  SystemConfig one_cfg;
+  one_cfg.cell = sram::CellKind::k1RW1R;
+  SystemSimulator base(tech::imec3nm(), snn, base_cfg);
+  SystemSimulator one(tech::imec3nm(), snn, one_cfg);
+  const double thr_base = base.run(inputs).throughput_inf_per_s;
+  const double thr_one = one.run(inputs).throughput_inf_per_s;
+  EXPECT_LT(thr_one, thr_base);
+  EXPECT_GT(thr_one, 0.85 * thr_base);  // "slightly"
+}
+
+TEST(System, EnergyAndPowerAccounting) {
+  const nn::SnnNetwork snn = random_snn({128, 64, 8}, 90);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(20, 128, 91);
+  const RunResult r = sim.run(inputs);
+  // Consistency: power * time == total energy; energy/inf * n == total.
+  EXPECT_NEAR(util::in_picojoules(r.average_power * r.elapsed),
+              util::in_picojoules(r.ledger.total_energy()), 1e-6);
+  EXPECT_NEAR(util::in_picojoules(r.energy_per_inference) * 20.0,
+              util::in_picojoules(r.ledger.total_energy()), 1e-6);
+  // Elapsed = cycles * clock.
+  EXPECT_NEAR(util::in_nanoseconds(r.elapsed),
+              static_cast<double>(r.cycles) *
+                  util::in_nanoseconds(sim.clock_period()),
+              1e-9);
+  // Leakage was integrated.
+  EXPECT_GT(r.ledger.energy(util::EnergyCategory::kLeakage).base(), 0.0);
+  EXPECT_GT(r.ledger.energy(util::EnergyCategory::kClock).base(), 0.0);
+}
+
+TEST(System, ClockFollowsTable2Cell) {
+  const nn::SnnNetwork snn = random_snn({64, 8}, 95);
+  SystemConfig cfg;
+  cfg.cell = sram::CellKind::k1RW4R;
+  SystemSimulator sim(tech::imec3nm(), snn, cfg);
+  EXPECT_NEAR(util::in_nanoseconds(sim.clock_period()), 1.23, 1e-9);
+  EXPECT_NEAR(util::in_megahertz(sim.clock_frequency()), 813.0, 1.0);
+}
+
+TEST(System, AreaBreakdownAddsUp) {
+  const nn::SnnNetwork snn = random_snn({256, 128, 10}, 97);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const AreaBreakdown b = sim.area();
+  const double parts = util::in_square_microns(b.arrays) +
+                       util::in_square_microns(b.arbiters) +
+                       util::in_square_microns(b.neurons);
+  EXPECT_NEAR(util::in_square_microns(b.total), parts * 1.05, 1e-6);
+  EXPECT_GT(util::in_square_microns(b.arrays),
+            util::in_square_microns(b.arbiters));
+}
+
+TEST(System, DeterministicAcrossRuns) {
+  const nn::SnnNetwork snn = random_snn({128, 64, 6}, 99);
+  SystemConfig cfg;
+  const auto inputs = random_inputs(30, 128, 100);
+  SystemSimulator a(tech::imec3nm(), snn, cfg);
+  SystemSimulator b(tech::imec3nm(), snn, cfg);
+  const RunResult ra = a.run(inputs);
+  const RunResult rb = b.run(inputs);
+  EXPECT_EQ(ra.predictions, rb.predictions);
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_NEAR(util::in_picojoules(ra.ledger.total_energy()),
+              util::in_picojoules(rb.ledger.total_energy()), 1e-9);
+}
+
+}  // namespace
+}  // namespace esam::arch

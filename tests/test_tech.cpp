@@ -1,0 +1,135 @@
+// Tests for the technology layer: device model, wires, NBL write assist.
+#include <gtest/gtest.h>
+
+#include "esam/tech/calibration.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/tech/wire.hpp"
+#include "esam/tech/write_assist.hpp"
+
+namespace esam::tech {
+namespace {
+
+TEST(Technology, NodeParametersSane) {
+  const TechnologyParams& t = imec3nm();
+  EXPECT_STREQ(t.name, "IMEC 3nm FinFET");
+  EXPECT_NEAR(util::in_millivolts(t.vdd), 700.0, 1e-9);           // Table 1
+  EXPECT_NEAR(util::in_millivolts(t.vprech_nominal), 500.0, 1e-9);  // Table 1
+  EXPECT_GT(util::in_ohms(t.wire_res_per_um), 0.0);
+  EXPECT_GT(t.fo4_delay.base(), 0.0);
+}
+
+TEST(Technology, EffectiveResistanceGrowsAsOverdriveShrinks) {
+  const TechnologyParams& t = imec3nm();
+  const auto r700 = t.effective_res(util::millivolts(700.0));
+  const auto r500 = t.effective_res(util::millivolts(500.0));
+  const auto r400 = t.effective_res(util::millivolts(400.0));
+  EXPECT_NEAR(util::in_ohms(r700), util::in_ohms(t.device_on_res), 1e-6);
+  EXPECT_GT(util::in_ohms(r500), util::in_ohms(r700));
+  EXPECT_GT(util::in_ohms(r400), util::in_ohms(r500));
+  // Each 100 mV of lost overdrive costs well over a linear share of drive.
+  EXPECT_GT(util::in_ohms(r400) / util::in_ohms(r500), 1.5);
+  EXPECT_GT(util::in_ohms(r500) / util::in_ohms(r700), 1.5);
+}
+
+TEST(Technology, EffectiveResistanceSubThresholdClamped) {
+  const TechnologyParams& t = imec3nm();
+  // Below Vth the overdrive clamps at 50 mV instead of exploding.
+  const auto r = t.effective_res(util::millivolts(100.0));
+  EXPECT_TRUE(std::isfinite(util::in_ohms(r)));
+  EXPECT_GT(util::in_ohms(r), util::in_ohms(t.device_on_res));
+}
+
+TEST(Wire, ResistanceAndCapacitanceScaleWithLength) {
+  const TechnologyParams& t = imec3nm();
+  const Wire w1(t, 10.0);
+  const Wire w2(t, 20.0);
+  EXPECT_NEAR(util::in_ohms(w2.resistance()), 2.0 * util::in_ohms(w1.resistance()),
+              1e-9);
+  EXPECT_NEAR(util::in_femtofarads(w2.capacitance()),
+              2.0 * util::in_femtofarads(w1.capacitance()), 1e-9);
+}
+
+TEST(Wire, NarrowWireIsMoreResistiveNotMoreCapacitive) {
+  const TechnologyParams& t = imec3nm();
+  const Wire wide(t, 10.0, 1.0);
+  const Wire narrow(t, 10.0, 0.5);
+  EXPECT_NEAR(util::in_ohms(narrow.resistance()),
+              2.0 * util::in_ohms(wide.resistance()), 1e-9);
+  EXPECT_NEAR(util::in_femtofarads(narrow.capacitance()),
+              util::in_femtofarads(wide.capacitance()), 1e-9);
+}
+
+TEST(Wire, ElmoreDelayMonotoneInDriverAndLoad) {
+  const TechnologyParams& t = imec3nm();
+  const Wire w(t, 20.0);
+  const auto base = w.elmore_delay(util::kiloohms(1.0), util::femtofarads(1.0));
+  EXPECT_GT(w.elmore_delay(util::kiloohms(2.0), util::femtofarads(1.0)), base);
+  EXPECT_GT(w.elmore_delay(util::kiloohms(1.0), util::femtofarads(5.0)), base);
+}
+
+TEST(Wire, InvalidArgumentsThrow) {
+  const TechnologyParams& t = imec3nm();
+  EXPECT_THROW(Wire(t, -1.0), std::invalid_argument);
+  EXPECT_THROW(Wire(t, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(WriteAssist, RequiredVwdGrowsWithRowsAndPorts) {
+  const WriteAssistModel m(imec3nm());
+  const auto v64 = m.evaluate(64, 0).required_vwd;
+  const auto v128 = m.evaluate(128, 0).required_vwd;
+  const auto v128p4 = m.evaluate(128, 4).required_vwd;
+  // More negative = larger magnitude.
+  EXPECT_LT(util::in_millivolts(v128), util::in_millivolts(v64));
+  EXPECT_LT(util::in_millivolts(v128p4), util::in_millivolts(v128));
+}
+
+TEST(WriteAssist, YieldRuleLimitsArraysTo128ForAllCells) {
+  // Paper sec. 4.1: "This restriction limits the array size to <= 128 rows
+  // and columns for all cell designs."
+  const WriteAssistModel m(imec3nm());
+  for (std::size_t ports = 0; ports <= 4; ++ports) {
+    EXPECT_TRUE(m.evaluate(128, ports).yielding) << "ports=" << ports;
+    EXPECT_FALSE(m.evaluate(256, ports).yielding) << "ports=" << ports;
+    EXPECT_EQ(m.max_valid_rows(ports), 128u) << "ports=" << ports;
+  }
+}
+
+TEST(WriteAssist, FourPortCellIsClosestToTheLimit) {
+  const WriteAssistModel m(imec3nm());
+  const double limit = calib::kMaxNegativeBitlineMv;
+  const double margin4 =
+      util::in_millivolts(m.evaluate(128, 4).required_vwd) - limit;
+  const double margin0 =
+      util::in_millivolts(m.evaluate(128, 0).required_vwd) - limit;
+  EXPECT_GT(margin4, 0.0);
+  EXPECT_LT(margin4, margin0);
+  // The worst cell sits within ~10 mV of the -400 mV cliff.
+  EXPECT_LT(margin4, 15.0);
+}
+
+TEST(WriteAssist, EnergyMultiplierQuadraticInSwing) {
+  const WriteAssistModel m(imec3nm());
+  EXPECT_NEAR(m.energy_multiplier(util::millivolts(0.0)), 1.0, 1e-9);
+  const double e300 = m.energy_multiplier(util::millivolts(-300.0));
+  EXPECT_NEAR(e300, (1.0 / 0.7) * (1.0 / 0.7), 1e-9);
+}
+
+TEST(Calibration, AnchorsMatchPaperText) {
+  EXPECT_DOUBLE_EQ(calib::k6TCellAreaUm2, 0.01512);
+  EXPECT_DOUBLE_EQ(calib::kCellAreaMultiplier[4], 2.625);
+  EXPECT_DOUBLE_EQ(calib::kSystemThroughputMInfPerS, 44.0);
+  EXPECT_DOUBLE_EQ(calib::kSystemEnergyPerInfPj, 607.0);
+  EXPECT_DOUBLE_EQ(calib::kSystemPowerMw, 29.0);
+  // The Table 2 split must recombine exactly to the published stage values.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(calib::kNeuronStageNs[i] + calib::kSramReadPathNs[i],
+                calib::kTable2SramNeuronNs[i], 1e-12)
+        << "cell index " << i;
+  }
+  // The 6T read+write pair energy must recombine to 157 pJ / 128 pairs.
+  EXPECT_NEAR((calib::kTrans6TReadPj + calib::kTrans6TWritePj) * 128.0,
+              calib::kBaselineColumnUpdatePj, 1e-6);
+}
+
+}  // namespace
+}  // namespace esam::tech

@@ -1,0 +1,235 @@
+// Tests for the Tile: decomposition into arrays/arbiters, the cycle-level
+// drain behaviour, firing semantics, and the physical models.
+#include <gtest/gtest.h>
+
+#include "esam/arch/tile.hpp"
+#include "esam/tech/calibration.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::arch {
+namespace {
+
+nn::SnnLayer random_layer(std::size_t in, std::size_t out, std::uint64_t seed,
+                          std::int32_t vth = 0) {
+  util::Rng rng(seed);
+  nn::SnnLayer layer;
+  layer.weight_rows.assign(in, util::BitVec(out));
+  layer.thresholds.assign(out, vth);
+  layer.readout_offsets.assign(out, 0.0f);
+  for (auto& row : layer.weight_rows) {
+    for (std::size_t j = 0; j < out; ++j) {
+      if (rng.bernoulli(0.5)) row.set(j);
+    }
+  }
+  return layer;
+}
+
+TileConfig config_for(std::size_t in, std::size_t out,
+                      sram::CellKind cell = sram::CellKind::k1RW4R) {
+  TileConfig cfg;
+  cfg.inputs = in;
+  cfg.outputs = out;
+  cfg.cell = cell;
+  return cfg;
+}
+
+TEST(Tile, DecomposesIntoRowAndColGroups) {
+  // Paper sec 4.4.2: a 768-input layer becomes 6 row-groups, each with its
+  // own 128-wide arbiter.
+  const Tile t768(tech::imec3nm(), config_for(768, 256));
+  EXPECT_EQ(t768.row_groups(), 6u);
+  EXPECT_EQ(t768.col_groups(), 2u);
+  const Tile t256(tech::imec3nm(), config_for(256, 10));
+  EXPECT_EQ(t256.row_groups(), 2u);
+  EXPECT_EQ(t256.col_groups(), 1u);
+  const Tile t128(tech::imec3nm(), config_for(128, 128));
+  EXPECT_EQ(t128.row_groups(), 1u);
+  EXPECT_EQ(t128.col_groups(), 1u);
+}
+
+TEST(Tile, RejectsEmptyShape) {
+  EXPECT_THROW(Tile(tech::imec3nm(), config_for(0, 10)), std::invalid_argument);
+  EXPECT_THROW(Tile(tech::imec3nm(), config_for(10, 0)), std::invalid_argument);
+}
+
+TEST(Tile, LoadLayerValidatesShape) {
+  Tile t(tech::imec3nm(), config_for(128, 64));
+  EXPECT_THROW(t.load_layer(random_layer(128, 65, 1)), std::invalid_argument);
+  EXPECT_THROW(t.load_layer(random_layer(127, 64, 1)), std::invalid_argument);
+  EXPECT_NO_THROW(t.load_layer(random_layer(128, 64, 1)));
+}
+
+TEST(Tile, WeightsLandInTheRightMacros) {
+  Tile t(tech::imec3nm(), config_for(256, 256));
+  nn::SnnLayer layer = random_layer(256, 256, 7);
+  t.load_layer(layer);
+  util::Rng rng(8);
+  for (int probe = 0; probe < 200; ++probe) {
+    const auto i = static_cast<std::size_t>(rng.uniform_index(256));
+    const auto j = static_cast<std::size_t>(rng.uniform_index(256));
+    const bool expected = layer.weight_rows[i].test(j);
+    EXPECT_EQ(t.macro(i / 128, j / 128).peek(i % 128, j % 128), expected);
+  }
+}
+
+TEST(Tile, DrainTakesCeilSpikesOverPortsCycles) {
+  // One row-group, 4 ports, k spikes -> ceil(k/4) cycles of accumulation;
+  // firing happens in the same cycle as the last grants.
+  Tile t(tech::imec3nm(), config_for(128, 16));
+  t.load_layer(random_layer(128, 16, 3, /*vth=*/1000));  // never fires
+  util::BitVec in(128);
+  for (std::size_t i = 0; i < 9; ++i) in.set(i * 13);
+  t.start_inference(in);
+  std::size_t cycles = 0;
+  while (t.busy()) {
+    t.step();
+    ++cycles;
+    ASSERT_LE(cycles, 10u);
+  }
+  EXPECT_EQ(cycles, 3u);  // ceil(9/4)
+  EXPECT_TRUE(t.output_ready());
+  EXPECT_EQ(t.stats().spikes_served, 9u);
+}
+
+TEST(Tile, MultipleRowGroupsDrainInParallel) {
+  // 256 inputs = 2 arbiters; 8 spikes split 4/4 drain in one cycle at p=4,
+  // but 8 spikes all in one group need two cycles.
+  Tile t(tech::imec3nm(), config_for(256, 16));
+  t.load_layer(random_layer(256, 16, 4, 1000));
+
+  util::BitVec balanced(256);
+  for (std::size_t i = 0; i < 4; ++i) {
+    balanced.set(i);
+    balanced.set(128 + i);
+  }
+  t.start_inference(balanced);
+  t.step();
+  EXPECT_FALSE(t.busy());  // drained in one cycle
+  (void)t.take_output();
+
+  util::BitVec skewed(256);
+  for (std::size_t i = 0; i < 8; ++i) skewed.set(i);  // all in group 0
+  t.start_inference(skewed);
+  t.step();
+  EXPECT_TRUE(t.busy());
+  t.step();
+  EXPECT_FALSE(t.busy());
+}
+
+TEST(Tile, EmptyInputFiresImmediately) {
+  Tile t(tech::imec3nm(), config_for(128, 8));
+  t.load_layer(random_layer(128, 8, 5, /*vth=*/0));
+  t.start_inference(util::BitVec(128));
+  t.step();
+  EXPECT_FALSE(t.busy());
+  EXPECT_TRUE(t.output_ready());
+  // Vth = 0 <= Vmem = 0: every neuron fires.
+  EXPECT_EQ(t.take_output().count(), 8u);
+}
+
+TEST(Tile, AccumulationMatchesReferenceModel) {
+  nn::SnnLayer layer = random_layer(256, 256, 11, /*vth=*/2000);
+  // Large Vth: no firing, so output_vmem is the raw accumulation.
+  TileConfig cfg = config_for(256, 256);
+  cfg.is_output_layer = true;
+  Tile out_tile(tech::imec3nm(), cfg);
+  out_tile.load_layer(layer);
+
+  util::Rng rng(12);
+  util::BitVec spikes(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    if (rng.bernoulli(0.3)) spikes.set(i);
+  }
+  out_tile.start_inference(spikes);
+  while (out_tile.busy()) out_tile.step();
+
+  const auto expected = nn::SnnNetwork::accumulate(layer, spikes);
+  const auto got = out_tile.output_vmem();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t j = 0; j < expected.size(); ++j) {
+    ASSERT_EQ(got[j], expected[j]) << "neuron " << j;
+  }
+}
+
+TEST(Tile, StartWhileBusyOrOutputPendingThrows) {
+  Tile t(tech::imec3nm(), config_for(128, 8));
+  t.load_layer(random_layer(128, 8, 6, 1000));
+  util::BitVec in(128);
+  in.set(0);
+  in.set(64);
+  t.start_inference(in);
+  EXPECT_THROW(t.start_inference(in), std::logic_error);
+  t.step();  // drains (2 spikes < 4 ports) and fires
+  ASSERT_TRUE(t.output_ready());
+  EXPECT_THROW(t.start_inference(in), std::logic_error);
+  (void)t.take_output();
+  EXPECT_NO_THROW(t.start_inference(in));
+}
+
+TEST(Tile, TakeOutputGuards) {
+  Tile t(tech::imec3nm(), config_for(128, 8));
+  t.load_layer(random_layer(128, 8, 7, 1000));
+  EXPECT_THROW((void)t.take_output(), std::logic_error);
+  TileConfig cfg = config_for(128, 8);
+  cfg.is_output_layer = true;
+  Tile out_tile(tech::imec3nm(), cfg);
+  out_tile.load_layer(random_layer(128, 8, 7, 1000));
+  out_tile.start_inference(util::BitVec(128));
+  out_tile.step();
+  EXPECT_THROW((void)out_tile.take_output(), std::logic_error);  // use Vmem
+  EXPECT_NO_THROW(out_tile.consume_output());
+}
+
+TEST(Tile, ClockPeriodFollowsTable2) {
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Tile t(tech::imec3nm(), config_for(128, 8, sram::kAllCellKinds[i]));
+    const double expected = std::max(tech::calib::kTable2ArbiterNs[i],
+                                     tech::calib::kTable2SramNeuronNs[i]);
+    EXPECT_NEAR(util::in_nanoseconds(t.clock_period()), expected, 1e-9)
+        << sram::to_string(sram::kAllCellKinds[i]);
+  }
+}
+
+TEST(Tile, EnergyPostedDuringExecution) {
+  Tile t(tech::imec3nm(), config_for(128, 128));
+  t.load_layer(random_layer(128, 128, 8, 1000));
+  util::EnergyLedger ledger;
+  t.attach_ledger(&ledger);
+  util::BitVec in(128);
+  for (std::size_t i = 0; i < 12; ++i) in.set(i * 10);
+  t.start_inference(in);
+  while (t.busy()) t.step();
+  EXPECT_GT(ledger.energy(util::EnergyCategory::kSramRead).base(), 0.0);
+  EXPECT_GT(ledger.energy(util::EnergyCategory::kArbiter).base(), 0.0);
+  EXPECT_GT(ledger.energy(util::EnergyCategory::kNeuron).base(), 0.0);
+  EXPECT_GT(ledger.energy(util::EnergyCategory::kFabric).base(), 0.0);
+}
+
+TEST(Tile, AreaAndLeakageScaleWithCell) {
+  const Tile base(tech::imec3nm(), config_for(128, 128, sram::CellKind::k1RW));
+  const Tile four(tech::imec3nm(), config_for(128, 128, sram::CellKind::k1RW4R));
+  EXPECT_GT(util::in_square_microns(four.area()),
+            util::in_square_microns(base.area()) * 1.8);
+  EXPECT_GT(four.leakage().base(), base.leakage().base());
+  EXPECT_GT(four.flop_count(), base.flop_count());
+}
+
+TEST(Tile, StatsAccumulate) {
+  Tile t(tech::imec3nm(), config_for(128, 8));
+  t.load_layer(random_layer(128, 8, 9, 1000));
+  util::BitVec in(128);
+  in.set(0);
+  t.start_inference(in);
+  while (t.busy()) t.step();
+  (void)t.take_output();
+  t.start_inference(in);
+  while (t.busy()) t.step();
+  EXPECT_EQ(t.stats().inferences, 2u);
+  EXPECT_EQ(t.stats().spikes_served, 2u);
+  EXPECT_EQ(t.stats().row_reads, 2u);
+  EXPECT_GE(t.stats().busy_cycles, 2u);
+}
+
+}  // namespace
+}  // namespace esam::arch

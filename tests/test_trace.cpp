@@ -1,0 +1,128 @@
+// Tests for the VCD pipeline-trace extension.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "esam/arch/system.hpp"
+#include "esam/arch/trace.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::arch {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+nn::SnnNetwork tiny_snn() {
+  util::Rng rng(77);
+  nn::BnnNetwork bnn({64, 32, 4}, rng);
+  return nn::SnnNetwork::from_bnn(bnn);
+}
+
+std::vector<util::BitVec> tiny_inputs(std::size_t n) {
+  util::Rng rng(78);
+  std::vector<util::BitVec> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    util::BitVec v(64);
+    for (std::size_t k = 0; k < 64; ++k) {
+      if (rng.bernoulli(0.3)) v.set(k);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(VcdTrace, FailsOnUnwritablePath) {
+  EXPECT_THROW(VcdTraceWriter("/nonexistent-dir/trace.vcd"),
+               std::runtime_error);
+}
+
+TEST(VcdTrace, HeaderDeclaresAllTileSignals) {
+  const std::string path = ::testing::TempDir() + "/esam_header.vcd";
+  {
+    VcdTraceWriter w(path);
+    w.begin(3, util::nanoseconds(1.23));
+    w.end(0);
+  }
+  const std::string vcd = slurp(path);
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  for (int t = 0; t < 3; ++t) {
+    const std::string base = "tile" + std::to_string(t);
+    EXPECT_NE(vcd.find(base + "_busy"), std::string::npos);
+    EXPECT_NE(vcd.find(base + "_grants"), std::string::npos);
+    EXPECT_NE(vcd.find(base + "_pending"), std::string::npos);
+    EXPECT_NE(vcd.find(base + "_fire"), std::string::npos);
+  }
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(VcdTrace, CycleBeforeBeginThrows) {
+  const std::string path = ::testing::TempDir() + "/esam_nobegin.vcd";
+  VcdTraceWriter w(path);
+  EXPECT_THROW(w.cycle(0, {}), std::logic_error);
+}
+
+TEST(VcdTrace, OnlyChangesAreDumped) {
+  const std::string path = ::testing::TempDir() + "/esam_changes.vcd";
+  {
+    VcdTraceWriter w(path);
+    w.begin(1, util::nanoseconds(1.0));
+    TileActivity a;
+    a.busy = true;
+    a.grants = 4;
+    w.cycle(0, {a});
+    w.cycle(1, {a});  // identical sample: nothing new should be dumped
+    a.busy = false;
+    a.grants = 0;
+    w.cycle(2, {a});
+    w.end(3);
+  }
+  const std::string vcd = slurp(path);
+  // Timestamps present for cycles 0 and 2 but not 1 (no change at #2000).
+  EXPECT_NE(vcd.find("#1000"), std::string::npos);
+  EXPECT_EQ(vcd.find("\n#2000\n"), std::string::npos);
+  EXPECT_NE(vcd.find("#3000"), std::string::npos);
+}
+
+TEST(VcdTrace, EndToEndThroughSimulator) {
+  const std::string path = ::testing::TempDir() + "/esam_run.vcd";
+  const nn::SnnNetwork snn = tiny_snn();
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = tiny_inputs(10);
+  {
+    VcdTraceWriter writer(path);
+    const RunResult r = sim.run(inputs, nullptr, &writer);
+    EXPECT_EQ(writer.cycles_written(), r.cycles);
+  }
+  const std::string vcd = slurp(path);
+  // Both tiles must have become busy at some point: at least one rising
+  // busy edge per tile identifier.
+  EXPECT_NE(vcd.find("1!"), std::string::npos);   // tile0 busy
+  EXPECT_NE(vcd.find("1%"), std::string::npos);   // tile1 busy (id 4 -> '%')
+  // Grants were dumped as binary vectors.
+  EXPECT_NE(vcd.find("b0000000000000"), std::string::npos);
+}
+
+TEST(VcdTrace, ObserverDoesNotPerturbResults) {
+  const nn::SnnNetwork snn = tiny_snn();
+  SystemSimulator a(tech::imec3nm(), snn, {});
+  SystemSimulator b(tech::imec3nm(), snn, {});
+  const auto inputs = tiny_inputs(15);
+  const std::string path = ::testing::TempDir() + "/esam_noperturb.vcd";
+  VcdTraceWriter writer(path);
+  const RunResult with_trace = a.run(inputs, nullptr, &writer);
+  const RunResult without = b.run(inputs);
+  EXPECT_EQ(with_trace.predictions, without.predictions);
+  EXPECT_EQ(with_trace.cycles, without.cycles);
+  EXPECT_NEAR(util::in_picojoules(with_trace.ledger.total_energy()),
+              util::in_picojoules(without.ledger.total_energy()), 1e-9);
+}
+
+}  // namespace
+}  // namespace esam::arch

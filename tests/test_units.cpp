@@ -1,0 +1,94 @@
+// Unit tests for the strong-typed physical quantities.
+#include <gtest/gtest.h>
+
+#include "esam/util/units.hpp"
+
+namespace esam::util {
+namespace {
+
+TEST(Units, NamedConstructorsRoundTrip) {
+  EXPECT_DOUBLE_EQ(in_nanoseconds(nanoseconds(1.23)), 1.23);
+  EXPECT_DOUBLE_EQ(in_picoseconds(nanoseconds(1.0)), 1000.0);
+  EXPECT_DOUBLE_EQ(in_picojoules(picojoules(607.0)), 607.0);
+  EXPECT_DOUBLE_EQ(in_femtojoules(picojoules(1.0)), 1000.0);
+  EXPECT_DOUBLE_EQ(in_milliwatts(milliwatts(29.0)), 29.0);
+  EXPECT_DOUBLE_EQ(in_millivolts(millivolts(500.0)), 500.0);
+  EXPECT_DOUBLE_EQ(in_femtofarads(femtofarads(5.5)), 5.5);
+  EXPECT_DOUBLE_EQ(in_ohms(kiloohms(7.4)), 7400.0);
+  EXPECT_DOUBLE_EQ(in_megahertz(megahertz(810.0)), 810.0);
+  EXPECT_DOUBLE_EQ(in_square_microns(square_microns(0.01512)), 0.01512);
+}
+
+TEST(Units, Arithmetic) {
+  const Time a = nanoseconds(2.0);
+  const Time b = nanoseconds(0.5);
+  EXPECT_DOUBLE_EQ(in_nanoseconds(a + b), 2.5);
+  EXPECT_DOUBLE_EQ(in_nanoseconds(a - b), 1.5);
+  EXPECT_DOUBLE_EQ(in_nanoseconds(a * 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(in_nanoseconds(3.0 * a), 6.0);
+  EXPECT_DOUBLE_EQ(in_nanoseconds(a / 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);  // dimensionless ratio
+  EXPECT_DOUBLE_EQ(in_nanoseconds(-b), -0.5);
+}
+
+TEST(Units, CompoundAssignment) {
+  Time t = nanoseconds(1.0);
+  t += nanoseconds(1.0);
+  t *= 2.0;
+  t -= nanoseconds(1.0);
+  t /= 3.0;
+  EXPECT_DOUBLE_EQ(in_nanoseconds(t), 1.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(picoseconds(999.0), nanoseconds(1.0));
+  EXPECT_GT(milliwatts(29.0), microwatts(28999.0));
+  EXPECT_EQ(nanoseconds(1.0), picoseconds(1000.0));
+}
+
+TEST(Units, DimensionalAlgebra) {
+  // P = E / t
+  const Power p = picojoules(607.0) / nanoseconds(1.0);
+  EXPECT_NEAR(in_milliwatts(p), 607.0, 1e-9);
+  // E = P * t
+  const Energy e = milliwatts(29.0) * nanoseconds(2.0);
+  EXPECT_NEAR(in_picojoules(e), 58.0, 1e-9);
+  // tau = R * C
+  const Time tau = kiloohms(7.4) * femtofarads(5.0);
+  EXPECT_NEAR(in_picoseconds(tau), 37.0, 1e-9);
+  // f = 1 / t
+  EXPECT_NEAR(in_megahertz(inverse(nanoseconds(1.23))), 813.0, 0.5);
+  EXPECT_NEAR(in_nanoseconds(period(megahertz(810.0))), 1.2346, 1e-3);
+}
+
+TEST(Units, SwitchingEnergy) {
+  // C * Vswing * Vsupply: 5 fF full-rail at 0.7 V -> 2.45 fJ.
+  const Energy e =
+      switching_energy(femtofarads(5.0), volts(0.7), volts(0.7));
+  EXPECT_NEAR(in_femtojoules(e), 2.45, 1e-9);
+  const Energy stored = stored_energy(femtofarads(4.0), volts(0.5));
+  EXPECT_NEAR(in_femtojoules(stored), 0.5, 1e-9);
+}
+
+TEST(Units, OhmicRelations) {
+  const Current i = volts(0.7) / kiloohms(7.0);
+  EXPECT_NEAR(i.base(), 1e-4, 1e-12);
+  const Power p = volts(0.7) * i;
+  EXPECT_NEAR(in_microwatts(p), 70.0, 1e-9);
+}
+
+TEST(Units, ToStringPicksEngineeringPrefix) {
+  EXPECT_EQ(to_string(nanoseconds(1.23)), "1.23 ns");
+  EXPECT_EQ(to_string(picojoules(607.0)), "607 pJ");
+  EXPECT_EQ(to_string(milliwatts(29.0)), "29 mW");
+  EXPECT_EQ(to_string(megahertz(810.0)), "810 MHz");
+  EXPECT_EQ(to_string(Time{}), "0 s");
+}
+
+TEST(Units, AreaFormatting) {
+  EXPECT_EQ(to_string(square_microns(123.4)), "123.4 um^2");
+  EXPECT_EQ(to_string(square_millimetres(1.5)), "1.5 mm^2");
+}
+
+}  // namespace
+}  // namespace esam::util

@@ -1,0 +1,136 @@
+// Tests for Monte-Carlo process-variation sampling and geometry-scaling
+// properties of the SRAM model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "esam/sram/timing.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::tech {
+namespace {
+
+TEST(Variation, DeterministicInRng) {
+  util::Rng a(5), b(5);
+  const VariationSample sa = sample_variation(a);
+  const VariationSample sb = sample_variation(b);
+  EXPECT_DOUBLE_EQ(sa.device_res_mult, sb.device_res_mult);
+  EXPECT_DOUBLE_EQ(sa.vth_shift_mv, sb.vth_shift_mv);
+}
+
+TEST(Variation, MultipliersCentredOnUnity) {
+  util::Rng rng(6);
+  double log_sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const VariationSample s = sample_variation(rng);
+    ASSERT_GT(s.device_res_mult, 0.0);
+    ASSERT_GT(s.wire_res_mult, 0.0);
+    log_sum += std::log(s.device_res_mult);
+  }
+  EXPECT_NEAR(log_sum / n, 0.0, 0.01);
+}
+
+TEST(Variation, LeakageAnticorrelatedWithVth) {
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const VariationSample s = sample_variation(rng);
+    if (s.vth_shift_mv > 0.0) {
+      EXPECT_LT(s.leakage_mult, 1.0);
+    } else if (s.vth_shift_mv < 0.0) {
+      EXPECT_GT(s.leakage_mult, 1.0);
+    }
+  }
+}
+
+TEST(Variation, ApplyShiftsTheNode) {
+  const VariationSample s{.device_res_mult = 1.2,
+                          .wire_res_mult = 0.9,
+                          .vth_shift_mv = -10.0,
+                          .leakage_mult = 1.3};
+  const TechnologyParams v = apply_variation(imec3nm(), s);
+  EXPECT_NEAR(util::in_ohms(v.device_on_res),
+              util::in_ohms(imec3nm().device_on_res) * 1.2, 1e-6);
+  EXPECT_NEAR(util::in_ohms(v.wire_res_per_um),
+              util::in_ohms(imec3nm().wire_res_per_um) * 0.9, 1e-6);
+  EXPECT_NEAR(util::in_millivolts(v.vth), 210.0, 1e-9);
+  EXPECT_NEAR(v.cell_leakage.base(), imec3nm().cell_leakage.base() * 1.3,
+              1e-18);
+}
+
+TEST(Variation, SlowerDevicesGiveSlowerReadPath) {
+  const VariationSample slow{.device_res_mult = 1.3,
+                             .wire_res_mult = 1.3,
+                             .vth_shift_mv = 0.0,
+                             .leakage_mult = 1.0};
+  const TechnologyParams node = apply_variation(imec3nm(), slow);
+  const sram::SramTimingModel nominal(
+      imec3nm(), sram::BitcellSpec::of(sram::CellKind::k1RW4R), {},
+      imec3nm().vprech_nominal);
+  const sram::SramTimingModel varied(
+      node, sram::BitcellSpec::of(sram::CellKind::k1RW4R), {},
+      node.vprech_nominal);
+  EXPECT_GT(util::in_nanoseconds(varied.inference_read_time()),
+            util::in_nanoseconds(nominal.inference_read_time()));
+  EXPECT_GT(util::in_nanoseconds(varied.rw_write_access().time),
+            util::in_nanoseconds(nominal.rw_write_access().time));
+}
+
+// --- geometry scaling properties (parameterized) ---------------------------------
+
+class GeometryScaling : public ::testing::TestWithParam<sram::CellKind> {};
+
+TEST_P(GeometryScaling, TallerArraysSlowPrechargeAndDischarge) {
+  const auto& t = imec3nm();
+  double prev_pre = 0.0;
+  for (std::size_t rows : {32u, 64u, 128u}) {
+    const sram::SramTimingModel m(t, sram::BitcellSpec::of(GetParam()),
+                                  sram::ArrayGeometry{rows, 128, 4},
+                                  t.vprech_nominal);
+    const double pre = util::in_picoseconds(m.precharge_time());
+    EXPECT_GT(pre, prev_pre) << "rows " << rows;
+    prev_pre = pre;
+  }
+}
+
+TEST_P(GeometryScaling, WiderArraysCostMoreRowReadEnergy) {
+  const auto& t = imec3nm();
+  double prev = 0.0;
+  for (std::size_t cols : {16u, 64u, 128u}) {
+    const sram::SramTimingModel m(t, sram::BitcellSpec::of(GetParam()),
+                                  sram::ArrayGeometry{128, cols, 4},
+                                  t.vprech_nominal);
+    const double e = util::in_femtojoules(m.inference_row_read_energy());
+    EXPECT_GT(e, prev) << "cols " << cols;
+    prev = e;
+  }
+}
+
+TEST_P(GeometryScaling, LeakageProportionalToCellCount) {
+  const auto& t = imec3nm();
+  const sram::SramTimingModel half(t, sram::BitcellSpec::of(GetParam()),
+                                   sram::ArrayGeometry{64, 128, 4},
+                                   t.vprech_nominal);
+  const sram::SramTimingModel full(t, sram::BitcellSpec::of(GetParam()),
+                                   sram::ArrayGeometry{128, 128, 4},
+                                   t.vprech_nominal);
+  // Cell leakage halves with the rows; the periphery share (sense amps are
+  // per column) does not, so the ratio sits slightly below 2.
+  const double ratio = full.leakage() / half.leakage();
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, GeometryScaling,
+                         ::testing::ValuesIn(sram::kAllCellKinds),
+                         [](const ::testing::TestParamInfo<sram::CellKind>& param_info) {
+                           std::string name{sram::to_string(param_info.param)};
+                           for (auto& c : name) {
+                             if (c == '+') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace esam::tech
