@@ -4,17 +4,47 @@
 //
 // The BNN is trained once (cached in ./esam_bnn_cache.bin) and shared by all
 // five hardware configurations -- exactly the paper's methodology.
+// Usage: bench_fig8_system [inferences] [threads]
+//   threads > 1 (or 0 = all cores) runs the batched multi-threaded engine
+//   and appends a simulator-throughput speedup measurement vs 1 thread.
+#include <chrono>
+#include <thread>
+
 #include "bench_common.hpp"
 #include "esam/core/esam.hpp"
 #include "esam/tech/calibration.hpp"
 
 using namespace esam;
 
+namespace {
+
+double wall_seconds_of_run(core::EsamSystem& system, std::size_t inferences,
+                           const arch::RunConfig& run_cfg) {
+  const auto start = std::chrono::steady_clock::now();
+  (void)system.evaluate(inferences, run_cfg);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::print_setup_header("Figure 8: system-level comparison of cell options");
 
   const std::size_t inferences =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500;
+  std::size_t threads =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 1;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // An explicit batch size keeps the modelled numbers identical between the
+  // 1-thread and N-thread runs compared below (batch 0 would mean "one
+  // continuous stream", a different cycle accounting).
+  const arch::RunConfig run_cfg{
+      .num_threads = threads,
+      .batch_size = threads != 1 ? arch::RunConfig::kDefaultBatchSize : 0};
 
   core::ModelConfig mc;
   mc.verbose = true;
@@ -36,7 +66,7 @@ int main(int argc, char** argv) {
     arch::SystemConfig hw;
     hw.cell = kind;
     core::EsamSystem system(model, hw);
-    const core::SystemReport r = system.evaluate(inferences);
+    const core::SystemReport r = system.evaluate(inferences, run_cfg);
     table.row({r.cell, util::fmt("%.0f", r.clock_mhz),
                util::fmt("%.1f", r.throughput_minf_per_s),
                util::fmt("%.0f", r.energy_per_inf_pj),
@@ -67,6 +97,27 @@ int main(int argc, char** argv) {
       calib::kSystemPowerMw));
   table.note("1RW -> 1RW+1R throughput dips slightly (same parallelism, "
              "slower reads); 2+ ports overtake it");
+  if (threads != 1) {
+    table.note(util::fmt(
+        "batched engine active (%zu threads, batch %zu): each batch pays its "
+        "own pipeline fill/drain, so cycles/throughput/energy differ "
+        "slightly from the default single-stream run",
+        threads, static_cast<std::size_t>(arch::RunConfig::kDefaultBatchSize)));
+  }
   table.print();
+
+  if (threads != 1) {
+    // Simulator-software speedup: same batched workload, 1 thread vs N.
+    arch::SystemConfig hw;
+    core::EsamSystem system(model, hw);
+    const arch::RunConfig one{.num_threads = 1,
+                              .batch_size = run_cfg.batch_size};
+    const double t1 = wall_seconds_of_run(system, inferences, one);
+    const double tn = wall_seconds_of_run(system, inferences, run_cfg);
+    std::printf(
+        "\nsimulator speedup (1RW+4R, %zu inferences): %.2fs @ 1 thread -> "
+        "%.2fs @ %zu threads = %.2fx\n",
+        inferences, t1, tn, threads, tn > 0.0 ? t1 / tn : 0.0);
+  }
   return 0;
 }

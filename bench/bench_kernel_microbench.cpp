@@ -98,6 +98,61 @@ void BM_PipelinedInference(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelinedInference)->Unit(benchmark::kMillisecond);
 
+void BM_BitVecAndCount(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  util::BitVec a(width), b(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    if (rng.bernoulli(0.5)) a.set(i);
+    if (rng.bernoulli(0.5)) b.set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.and_count(b));
+  }
+}
+BENCHMARK(BM_BitVecAndCount)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_BitVecForEachSet(benchmark::State& state) {
+  util::Rng rng(7);
+  util::BitVec v(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    if (rng.bernoulli(0.2)) v.set(i);
+  }
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    v.for_each_set([&sum](std::size_t i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitVecForEachSet);
+
+void BM_BatchedInference(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const nn::SnnNetwork snn = make_paper_snn();
+  arch::SystemSimulator sim(tech::imec3nm(), snn, {});
+  util::Rng rng(8);
+  std::vector<util::BitVec> inputs;
+  for (int i = 0; i < 64; ++i) {
+    util::BitVec v(768);
+    for (std::size_t k = 0; k < 768; ++k) {
+      if (rng.bernoulli(0.19)) v.set(k);
+    }
+    inputs.push_back(std::move(v));
+  }
+  const arch::RunConfig cfg{.num_threads = threads, .batch_size = 8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_batched(inputs, nullptr, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_BatchedInference)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_SoftwareSnnPredict(benchmark::State& state) {
   const nn::SnnNetwork snn = make_paper_snn();
   util::Rng rng(5);

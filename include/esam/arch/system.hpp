@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "esam/arch/tile.hpp"
@@ -39,6 +40,25 @@ struct AreaBreakdown {
   Area total{};  ///< including clock/fabric overhead
 };
 
+/// Execution configuration of the batched engine. This is a *simulation
+/// software* concern (how fast the simulator itself runs), not a hardware
+/// model parameter: the modelled cycle counts and energies depend only on
+/// `batch_size`, never on `num_threads`.
+struct RunConfig {
+  /// Worker threads sharding the batches; 0 = hardware concurrency.
+  std::size_t num_threads = 1;
+  /// Inferences streamed back-to-back through one pipeline before it drains.
+  /// 0 = the whole run is one batch (identical to the single-stream run()),
+  /// which leaves nothing to shard -- parallel speedups require an explicit
+  /// batch size. Each batch pays its own pipeline fill/drain, so modelled
+  /// cycles and energies depend on this value and on nothing else here.
+  std::size_t batch_size = 0;
+
+  /// Suggested batch size for frontends that want parallelism without
+  /// exposing the knob (the CLI's --threads defaults --batch to this).
+  static constexpr std::size_t kDefaultBatchSize = 32;
+};
+
 /// Outcome of one streamed run.
 struct RunResult {
   std::vector<std::size_t> predictions;
@@ -50,6 +70,9 @@ struct RunResult {
   Energy energy_per_inference{};
   Power average_power{};
   double avg_cycles_per_inference = 0.0;
+  /// Batched-engine execution stats (1 / 1 for the single-stream run()).
+  std::size_t batches = 1;
+  std::size_t threads = 1;
 };
 
 class SystemSimulator {
@@ -82,7 +105,30 @@ class SystemSimulator {
                 const std::vector<std::uint8_t>* labels = nullptr,
                 PipelineObserver* observer = nullptr);
 
+  /// Batched engine: shards `inputs` into RunConfig::batch_size chunks and
+  /// streams each chunk through a pipeline, fanned out over
+  /// RunConfig::num_threads workers that each own a deep-cloned tile
+  /// pipeline and a thread-local EnergyLedger. Per-batch results are merged
+  /// in batch order, so predictions, cycle counts and ledger energies are
+  /// bit-for-bit identical for every thread count (tested in
+  /// tests/test_parallel.cpp). No observer support: per-cycle tracing of a
+  /// sharded run has no single well-defined cycle order.
+  RunResult run_batched(const std::vector<BitVec>& inputs,
+                        const std::vector<std::uint8_t>* labels = nullptr,
+                        const RunConfig& run_cfg = {});
+
  private:
+  /// One per-batch pipeline stream over `tiles` (the core loop shared by
+  /// run() and run_batched()). Appends predictions and adds cycles/energy
+  /// into the out-parameters.
+  void stream_batch(std::vector<Tile>& tiles, std::span<const BitVec> inputs,
+                    PipelineObserver* observer,
+                    std::vector<std::size_t>& predictions,
+                    std::uint64_t& cycles, EnergyLedger& ledger) const;
+  /// Fills the derived metrics (throughput, energy/inf, power) of `result`.
+  void finalize_metrics(RunResult& result, std::size_t n,
+                        const std::vector<std::uint8_t>* labels) const;
+
   const TechnologyParams* tech_;
   SystemConfig cfg_;
   std::vector<Tile> tiles_;

@@ -68,6 +68,15 @@ class Tile {
  public:
   Tile(const TechnologyParams& tech, TileConfig cfg);
 
+  /// Deep copy: clones the SRAM macros (current weights and faults included)
+  /// and detaches any energy ledger. The batched engine uses this to hand
+  /// each worker thread its own pipeline.
+  Tile(const Tile& other);
+  Tile& operator=(const Tile& other);
+  Tile(Tile&&) noexcept = default;
+  Tile& operator=(Tile&&) noexcept = default;
+  ~Tile() = default;
+
   [[nodiscard]] const TileConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t row_groups() const { return row_groups_; }
   [[nodiscard]] std::size_t col_groups() const { return col_groups_; }
@@ -146,6 +155,10 @@ class Tile {
   bool busy_ = false;
   bool output_ready_ = false;
   BitVec output_spikes_;
+  /// Reusable per-column-group row buffers + per-neuron ones counters so the
+  /// step() hot path performs no allocations.
+  std::vector<BitVec> row_scratch_;
+  std::vector<std::int32_t> ones_scratch_;
 };
 
 }  // namespace esam::arch

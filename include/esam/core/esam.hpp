@@ -70,6 +70,11 @@ struct SystemReport {
   std::size_t neurons = 0;
   std::size_t synapses = 0;
   std::size_t inferences = 0;
+  /// Simulator execution stats (host-side, not modelled hardware).
+  double sim_wall_s = 0.0;
+  double sim_inf_per_s = 0.0;
+  std::size_t sim_threads = 1;
+  std::size_t sim_batches = 1;
 
   void print() const;
 };
@@ -84,8 +89,13 @@ class EsamSystem {
   [[nodiscard]] const arch::SystemSimulator& simulator() const { return sim_; }
 
   /// Streams up to `max_inferences` test images (0 = all) and reports the
-  /// system metrics.
-  SystemReport evaluate(std::size_t max_inferences = 0);
+  /// system metrics. batch_size 0 streams everything through one pipeline
+  /// (the reference single-stream engine, regardless of num_threads); a
+  /// non-zero batch_size uses the batched multi-threaded engine. Modelled
+  /// metrics depend only on batch_size, never on num_threads (see
+  /// arch::SystemSimulator::run_batched).
+  SystemReport evaluate(std::size_t max_inferences = 0,
+                        const arch::RunConfig& run_cfg = {});
 
  private:
   const TrainedModel* model_;

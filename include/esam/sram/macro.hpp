@@ -76,6 +76,11 @@ class SramMacro {
   /// through its RW port).
   BitVec read_row(std::size_t port, std::size_t row);
 
+  /// Same access (and cost) as read_row, but writes into `out`, reusing its
+  /// storage -- the simulator's per-grant hot path avoids one allocation per
+  /// row read this way.
+  void read_row_into(std::size_t port, std::size_t row, BitVec& out);
+
   /// Cost of one inference row read (energy posted by read_row).
   [[nodiscard]] OpProfile inference_read_profile() const;
 
@@ -102,8 +107,13 @@ class SramMacro {
   void post(util::EnergyCategory cat, util::Energy e);
   void check_row(std::size_t row) const;
   void check_col(std::size_t col) const;
+  /// Shared port validation + stats/energy accounting of one inference row
+  /// read (used by both read_row flavours).
+  void account_inference_read(std::size_t port);
   /// Row content with stuck-at masking applied.
   [[nodiscard]] BitVec observed_row(std::size_t row) const;
+  /// Allocation-free variant writing into `out` (same masking).
+  void observed_row_into(std::size_t row, BitVec& out) const;
 
   SramTimingModel timing_;
   std::vector<BitVec> bits_;  // [row] -> cols

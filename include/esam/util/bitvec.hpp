@@ -6,6 +6,7 @@
 // rely on. Width is fixed at construction (hardware vectors do not resize).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -67,6 +68,31 @@ class BitVec {
 
   /// Indices of all set bits in increasing order.
   [[nodiscard]] std::vector<std::size_t> set_bits() const;
+
+  /// Invokes `f(index)` for every set bit in increasing order, word by word.
+  /// The simulator hot loops use this instead of test() per position: one
+  /// countr_zero per set bit instead of a bounds check + shift per bit.
+  template <typename F>
+  void for_each_set(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        f(wi * 64 + static_cast<std::size_t>(std::countr_zero(w)));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// popcount(*this & o) without materializing the intermediate vector.
+  [[nodiscard]] std::size_t and_count(const BitVec& o) const;
+
+  /// *this &= ~o (clears every bit that is set in `o`).
+  BitVec& andnot_assign(const BitVec& o);
+
+  /// Copies `o`'s bits into this vector's existing word storage (no
+  /// allocation on the hot path). Throws like every other binary operation
+  /// when the widths differ: BitVec widths are fixed at construction.
+  void assign(const BitVec& o);
 
   BitVec operator&(const BitVec& o) const;
   BitVec operator|(const BitVec& o) const;

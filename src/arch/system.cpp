@@ -1,7 +1,10 @@
 #include "esam/arch/system.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <stdexcept>
+#include <thread>
 
 namespace esam::arch {
 namespace {
@@ -85,6 +88,112 @@ std::size_t SystemSimulator::synapse_count() const {
   return n;
 }
 
+void SystemSimulator::stream_batch(std::vector<Tile>& tiles,
+                                   std::span<const BitVec> inputs,
+                                   PipelineObserver* observer,
+                                   std::vector<std::size_t>& predictions,
+                                   std::uint64_t& cycles,
+                                   EnergyLedger& ledger) const {
+  for (auto& t : tiles) t.attach_ledger(&ledger);
+
+  // Physical per-cycle constants; identical for every cloned pipeline.
+  const Time period = clock_period();
+  const Power leak = total_leakage();
+  const double vdd = util::in_volts(tech_->vdd);
+  const Energy clock_per_cycle = util::joules(
+      static_cast<double>(flop_count()) * kClockCapPerFlopFf * 1e-15 * vdd *
+      vdd);
+
+  const std::size_t n = inputs.size();
+  const std::size_t last = tiles.size() - 1;
+  std::size_t next_input = 0;
+  std::size_t completed = 0;
+  std::uint64_t batch_cycles = 0;
+
+  std::vector<TileActivity> activity(tiles.size());
+  std::vector<std::uint64_t> served_before(tiles.size(), 0);
+  std::vector<bool> busy_before(tiles.size(), false);
+  std::vector<bool> ready_before(tiles.size(), false);
+  // Generous bound: no inference should take more than ~width cycles per
+  // tile; used purely as a hang detector.
+  const std::uint64_t cycle_limit =
+      (static_cast<std::uint64_t>(n) + tiles.size() + 4) * 4096;
+
+  while (completed < n) {
+    if (++batch_cycles > cycle_limit) {
+      throw std::logic_error("SystemSimulator: pipeline deadlock");
+    }
+
+    if (observer != nullptr) {
+      for (std::size_t i = 0; i < tiles.size(); ++i) {
+        served_before[i] = tiles[i].stats().spikes_served;
+        busy_before[i] = tiles[i].busy();
+        ready_before[i] = tiles[i].output_ready();
+      }
+    }
+
+    for (auto& t : tiles) t.step();
+
+    if (observer != nullptr) {
+      for (std::size_t i = 0; i < tiles.size(); ++i) {
+        activity[i].busy = busy_before[i];
+        activity[i].grants = static_cast<std::uint32_t>(
+            tiles[i].stats().spikes_served - served_before[i]);
+        activity[i].pending =
+            static_cast<std::uint32_t>(tiles[i].pending_requests());
+        activity[i].fired = !ready_before[i] && tiles[i].output_ready();
+      }
+      observer->cycle(batch_cycles - 1, activity);
+    }
+
+    // Handoffs, downstream first so a freed tile can accept in the same
+    // cycle it drained.
+    for (std::size_t l = tiles.size(); l-- > 0;) {
+      if (!tiles[l].output_ready()) continue;
+      if (l == last) {
+        const std::vector<float> scores = tiles[l].output_scores();
+        predictions.push_back(static_cast<std::size_t>(
+            std::max_element(scores.begin(), scores.end()) - scores.begin()));
+        tiles[l].consume_output();
+        ++completed;
+      } else if (!tiles[l + 1].busy() && !tiles[l + 1].output_ready()) {
+        tiles[l + 1].start_inference(tiles[l].take_output());
+      }
+    }
+
+    if (next_input < n && !tiles[0].busy() && !tiles[0].output_ready()) {
+      tiles[0].start_inference(inputs[next_input++]);
+    }
+
+    ledger.add(util::EnergyCategory::kClock, clock_per_cycle);
+    ledger.advance_time_with_leakage(period, leak);
+  }
+
+  for (auto& t : tiles) t.attach_ledger(nullptr);
+  cycles += batch_cycles;
+}
+
+void SystemSimulator::finalize_metrics(
+    RunResult& result, std::size_t n,
+    const std::vector<std::uint8_t>* labels) const {
+  result.elapsed = result.ledger.elapsed();
+  result.throughput_inf_per_s =
+      static_cast<double>(n) / util::in_seconds(result.elapsed);
+  result.energy_per_inference =
+      result.ledger.total_energy() / static_cast<double>(n);
+  result.average_power = result.ledger.average_power();
+  result.avg_cycles_per_inference =
+      static_cast<double>(result.cycles) / static_cast<double>(n);
+
+  if (labels != nullptr) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (result.predictions[i] == (*labels)[i]) ++correct;
+    }
+    result.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  }
+}
+
 RunResult SystemSimulator::run(const std::vector<BitVec>& inputs,
                                const std::vector<std::uint8_t>* labels,
                                PipelineObserver* observer) {
@@ -98,103 +207,104 @@ RunResult SystemSimulator::run(const std::vector<BitVec>& inputs,
   RunResult result;
   result.predictions.reserve(inputs.size());
 
-  EnergyLedger ledger;
-  for (auto& t : tiles_) t.attach_ledger(&ledger);
+  if (observer != nullptr) observer->begin(tiles_.size(), clock_period());
+  stream_batch(tiles_, std::span<const BitVec>(inputs), observer,
+               result.predictions, result.cycles, result.ledger);
+  if (observer != nullptr) observer->end(result.cycles);
 
-  const Time period = clock_period();
-  const Power leak = total_leakage();
-  const double vdd = util::in_volts(tech_->vdd);
-  const Energy clock_per_cycle = util::joules(
-      static_cast<double>(flop_count()) * kClockCapPerFlopFf * 1e-15 * vdd *
-      vdd);
+  finalize_metrics(result, inputs.size(), labels);
+  return result;
+}
+
+RunResult SystemSimulator::run_batched(const std::vector<BitVec>& inputs,
+                                       const std::vector<std::uint8_t>* labels,
+                                       const RunConfig& run_cfg) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("SystemSimulator::run_batched: no inputs");
+  }
+  if (labels != nullptr && labels->size() != inputs.size()) {
+    throw std::invalid_argument(
+        "SystemSimulator::run_batched: label count mismatch");
+  }
 
   const std::size_t n = inputs.size();
-  const std::size_t last = tiles_.size() - 1;
-  std::size_t next_input = 0;
-  std::size_t completed = 0;
-  std::uint64_t cycles = 0;
+  // batch_size 0 = the whole stream as one batch; clamping to n also keeps
+  // the ceiling division below from overflowing for huge requested sizes.
+  const std::size_t batch_size =
+      run_cfg.batch_size != 0 ? std::min(run_cfg.batch_size, n) : n;
+  const std::size_t num_batches = (n + batch_size - 1) / batch_size;
+  // Sanity bound on the pool size: deliberate oversubscription is allowed
+  // (it cannot change results), but a garbage request like (size_t)-1 must
+  // not exhaust OS threads.
+  constexpr std::size_t kMaxThreads = 256;
+  std::size_t threads = run_cfg.num_threads != 0
+                            ? run_cfg.num_threads
+                            : std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency());
+  threads = std::min({threads, num_batches, kMaxThreads});
 
-  if (observer != nullptr) observer->begin(tiles_.size(), period);
-  std::vector<TileActivity> activity(tiles_.size());
-  std::vector<std::uint64_t> served_before(tiles_.size(), 0);
-  std::vector<bool> busy_before(tiles_.size(), false);
-  std::vector<bool> ready_before(tiles_.size(), false);
-  // Generous bound: no inference should take more than ~width cycles per
-  // tile; used purely as a hang detector.
-  const std::uint64_t cycle_limit =
-      (static_cast<std::uint64_t>(n) + tiles_.size() + 4) * 4096;
+  // Every batch is an independent, deterministic unit of work: stream its
+  // slice through a pipeline, record predictions / cycles / a private
+  // ledger. The merge below happens in batch order regardless of which
+  // worker ran which batch, so the result is invariant to `threads`.
+  struct BatchOutcome {
+    std::vector<std::size_t> predictions;
+    std::uint64_t cycles = 0;
+    EnergyLedger ledger;
+  };
+  std::vector<BatchOutcome> outcomes(num_batches);
 
-  while (completed < n) {
-    if (++cycles > cycle_limit) {
-      throw std::logic_error("SystemSimulator::run: pipeline deadlock");
+  const std::span<const BitVec> all(inputs);
+  auto run_one_batch = [&](std::vector<Tile>& tiles, std::size_t b) {
+    const std::size_t first = b * batch_size;
+    const std::size_t count = std::min(batch_size, n - first);
+    outcomes[b].predictions.reserve(count);
+    stream_batch(tiles, all.subspan(first, count), nullptr,
+                 outcomes[b].predictions, outcomes[b].cycles,
+                 outcomes[b].ledger);
+  };
+
+  if (threads <= 1) {
+    for (std::size_t b = 0; b < num_batches; ++b) run_one_batch(tiles_, b);
+  } else {
+    std::atomic<std::size_t> next_batch{0};
+    std::vector<std::exception_ptr> worker_errors(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          // One deep-cloned pipeline per worker, reused across its batches.
+          std::vector<Tile> local_tiles(tiles_);
+          while (true) {
+            const std::size_t b =
+                next_batch.fetch_add(1, std::memory_order_relaxed);
+            if (b >= num_batches) break;
+            run_one_batch(local_tiles, b);
+          }
+        } catch (...) {
+          worker_errors[w] = std::current_exception();
+        }
+      });
     }
-
-    if (observer != nullptr) {
-      for (std::size_t i = 0; i < tiles_.size(); ++i) {
-        served_before[i] = tiles_[i].stats().spikes_served;
-        busy_before[i] = tiles_[i].busy();
-        ready_before[i] = tiles_[i].output_ready();
-      }
+    for (auto& t : pool) t.join();
+    for (const auto& err : worker_errors) {
+      if (err) std::rethrow_exception(err);
     }
-
-    for (auto& t : tiles_) t.step();
-
-    if (observer != nullptr) {
-      for (std::size_t i = 0; i < tiles_.size(); ++i) {
-        activity[i].busy = busy_before[i];
-        activity[i].grants = static_cast<std::uint32_t>(
-            tiles_[i].stats().spikes_served - served_before[i]);
-        activity[i].pending =
-            static_cast<std::uint32_t>(tiles_[i].pending_requests());
-        activity[i].fired = !ready_before[i] && tiles_[i].output_ready();
-      }
-      observer->cycle(cycles - 1, activity);
-    }
-
-    // Handoffs, downstream first so a freed tile can accept in the same
-    // cycle it drained.
-    for (std::size_t l = tiles_.size(); l-- > 0;) {
-      if (!tiles_[l].output_ready()) continue;
-      if (l == last) {
-        const std::vector<float> scores = tiles_[l].output_scores();
-        result.predictions.push_back(static_cast<std::size_t>(
-            std::max_element(scores.begin(), scores.end()) - scores.begin()));
-        tiles_[l].consume_output();
-        ++completed;
-      } else if (!tiles_[l + 1].busy() && !tiles_[l + 1].output_ready()) {
-        tiles_[l + 1].start_inference(tiles_[l].take_output());
-      }
-    }
-
-    if (next_input < n && !tiles_[0].busy() && !tiles_[0].output_ready()) {
-      tiles_[0].start_inference(inputs[next_input++]);
-    }
-
-    ledger.add(util::EnergyCategory::kClock, clock_per_cycle);
-    ledger.advance_time_with_leakage(period, leak);
   }
 
-  for (auto& t : tiles_) t.attach_ledger(nullptr);
-  if (observer != nullptr) observer->end(cycles);
-
-  result.cycles = cycles;
-  result.elapsed = ledger.elapsed();
-  result.ledger = ledger;
-  result.throughput_inf_per_s =
-      static_cast<double>(n) / util::in_seconds(result.elapsed);
-  result.energy_per_inference =
-      ledger.total_energy() / static_cast<double>(n);
-  result.average_power = ledger.average_power();
-  result.avg_cycles_per_inference =
-      static_cast<double>(cycles) / static_cast<double>(n);
-
-  if (labels != nullptr) {
-    std::size_t correct = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (result.predictions[i] == (*labels)[i]) ++correct;
-    }
-    result.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  RunResult result;
+  result.predictions.reserve(n);
+  for (const BatchOutcome& out : outcomes) {
+    result.predictions.insert(result.predictions.end(),
+                              out.predictions.begin(), out.predictions.end());
+    result.cycles += out.cycles;
+    result.ledger += out.ledger;
   }
+  result.batches = num_batches;
+  result.threads = threads;
+
+  finalize_metrics(result, n, labels);
   return result;
 }
 

@@ -52,6 +52,43 @@ Tile::Tile(const TechnologyParams& tech, TileConfig cfg)
   }
   neurons_.assign(cfg_.outputs, neuron::IfNeuron(cfg_.neuron));
   readout_offsets_.assign(cfg_.outputs, 0.0f);
+  row_scratch_.reserve(col_groups_);
+  for (std::size_t cg = 0; cg < col_groups_; ++cg) {
+    row_scratch_.emplace_back(array_cols(cg));
+  }
+  ones_scratch_.assign(cfg_.outputs, 0);
+}
+
+Tile::Tile(const Tile& other)
+    : tech_(other.tech_),
+      cfg_(other.cfg_),
+      row_groups_(other.row_groups_),
+      col_groups_(other.col_groups_),
+      arbiters_(other.arbiters_),
+      arbiter_model_(other.arbiter_model_),
+      neurons_(other.neurons_),
+      neuron_model_(other.neuron_model_),
+      readout_offsets_(other.readout_offsets_),
+      ledger_(nullptr),
+      stats_(other.stats_),
+      busy_(other.busy_),
+      output_ready_(other.output_ready_),
+      output_spikes_(other.output_spikes_),
+      row_scratch_(other.row_scratch_),
+      ones_scratch_(other.ones_scratch_) {
+  macros_.reserve(other.macros_.size());
+  for (const auto& m : other.macros_) {
+    macros_.push_back(std::make_unique<sram::SramMacro>(*m));
+    macros_.back()->attach_ledger(nullptr);
+  }
+}
+
+Tile& Tile::operator=(const Tile& other) {
+  if (this != &other) {
+    Tile tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
 }
 
 std::size_t Tile::array_rows(std::size_t row_group) const {
@@ -128,8 +165,12 @@ void Tile::step() {
   if (!busy_) return;
   ++stats_.busy_cycles;
 
-  // Per-neuron accumulated delta for this cycle.
-  std::vector<std::int32_t> delta(cfg_.outputs, 0);
+  // Word-packed accumulation. Every granted row read contributes +1 to the
+  // columns whose stored bit is 1 and -1 to the rest, and each grant touches
+  // every column group; with ones[c] = granted rows whose bit at column c is
+  // set, the per-cycle delta is 2*ones[c] - total_grants. Counting set bits
+  // word-by-word replaces the per-bit test() loop.
+  std::fill(ones_scratch_.begin(), ones_scratch_.end(), 0);
   std::size_t total_grants = 0;
   bool all_empty = true;
 
@@ -151,7 +192,8 @@ void Tile::step() {
       const std::size_t local_row = grants.rows[port];
       for (std::size_t cg = 0; cg < col_groups_; ++cg) {
         sram::SramMacro& m = *macros_[rg * col_groups_ + cg];
-        const BitVec row_bits = m.read_row(port, local_row);
+        BitVec& row_bits = row_scratch_[cg];
+        m.read_row_into(port, local_row, row_bits);
         ++stats_.row_reads;
         if (ledger_ != nullptr) {
           // Decoder/driver + port output register, beyond the array access.
@@ -160,10 +202,8 @@ void Tile::step() {
                        util::femtojoules(kRowDecodeDriveEnergyFj +
                                          kPortLatchEnergyPerBitFj * bits));
         }
-        const std::size_t col0 = cg * cfg_.max_array_dim;
-        for (std::size_t c = 0; c < m.geometry().cols; ++c) {
-          delta[col0 + c] += row_bits.test(c) ? 1 : -1;
-        }
+        std::int32_t* ones = ones_scratch_.data() + cg * cfg_.max_array_dim;
+        row_bits.for_each_set([ones](std::size_t c) { ++ones[c]; });
       }
     }
     if (ledger_ != nullptr && grants.valid_ports > 0) {
@@ -174,8 +214,9 @@ void Tile::step() {
   }
 
   if (total_grants > 0) {
+    const auto grants32 = static_cast<std::int32_t>(total_grants);
     for (std::size_t j = 0; j < cfg_.outputs; ++j) {
-      neurons_[j].integrate_sum(delta[j]);
+      neurons_[j].integrate_sum(2 * ones_scratch_[j] - grants32);
     }
     if (ledger_ != nullptr) {
       ledger_->add(util::EnergyCategory::kNeuron,

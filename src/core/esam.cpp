@@ -1,5 +1,6 @@
 #include "esam/core/esam.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 #include "esam/tech/technology.hpp"
@@ -47,7 +48,8 @@ TrainedModel TrainedModel::create(const ModelConfig& cfg) {
 EsamSystem::EsamSystem(const TrainedModel& model, arch::SystemConfig hw)
     : model_(&model), sim_(tech::imec3nm(), model.snn, hw) {}
 
-SystemReport EsamSystem::evaluate(std::size_t max_inferences) {
+SystemReport EsamSystem::evaluate(std::size_t max_inferences,
+                                  const arch::RunConfig& run_cfg) {
   const data::PreparedDataset& test = model_->data.test;
   std::size_t n = test.size();
   if (max_inferences != 0 && max_inferences < n) n = max_inferences;
@@ -59,7 +61,17 @@ SystemReport EsamSystem::evaluate(std::size_t max_inferences) {
                                    test.labels.begin() +
                                        static_cast<std::ptrdiff_t>(n));
 
-  const arch::RunResult r = sim_.run(inputs, &labels);
+  // batch_size 0 means "one batch covering the whole stream", which the
+  // legacy engine computes identically without cloning pipelines.
+  const bool single_stream = run_cfg.batch_size == 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const arch::RunResult r = single_stream
+                                ? sim_.run(inputs, &labels)
+                                : sim_.run_batched(inputs, &labels, run_cfg);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   SystemReport rep;
   rep.cell = std::string(sram::to_string(sim_.config().cell));
@@ -74,6 +86,10 @@ SystemReport EsamSystem::evaluate(std::size_t max_inferences) {
   rep.neurons = sim_.neuron_count();
   rep.synapses = sim_.synapse_count();
   rep.inferences = n;
+  rep.sim_wall_s = wall_s;
+  rep.sim_inf_per_s = wall_s > 0.0 ? static_cast<double>(n) / wall_s : 0.0;
+  rep.sim_threads = r.threads;
+  rep.sim_batches = r.batches;
   return rep;
 }
 
@@ -90,6 +106,9 @@ void SystemReport::print() const {
   t.row({"neurons", util::fmt("%zu", neurons)});
   t.row({"synapses", util::fmt("%zu", synapses)});
   t.row({"inferences evaluated", util::fmt("%zu", inferences)});
+  t.row({"simulator speed",
+         util::fmt("%.0f Inf/s (%zu threads, %zu batches)", sim_inf_per_s,
+                   sim_threads, sim_batches)});
   t.print();
 }
 

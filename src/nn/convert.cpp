@@ -45,14 +45,19 @@ std::vector<std::int32_t> SnnNetwork::accumulate(const SnnLayer& layer,
   if (spikes.size() != layer.in_features()) {
     throw std::invalid_argument("SnnNetwork::accumulate: spike width mismatch");
   }
+  // Word-packed: each spiking row adds +1 where its weight bit is 1 and -1
+  // elsewhere, so vmem[j] = 2 * ones[j] - #spikes with ones[j] counted by
+  // set-bit iteration instead of a per-bit test() loop.
   const std::size_t n_out = layer.out_features();
   std::vector<std::int32_t> vmem(n_out, 0);
-  for (std::size_t i = spikes.find_first(); i < spikes.size();
-       i = spikes.find_next(i)) {
-    const BitVec& row = layer.weight_rows[i];
-    for (std::size_t j = 0; j < n_out; ++j) {
-      vmem[j] += row.test(j) ? 1 : -1;
-    }
+  std::int32_t n_spikes = 0;
+  std::int32_t* ones = vmem.data();
+  spikes.for_each_set([&](std::size_t i) {
+    layer.weight_rows[i].for_each_set([ones](std::size_t j) { ++ones[j]; });
+    ++n_spikes;
+  });
+  for (std::size_t j = 0; j < n_out; ++j) {
+    vmem[j] = 2 * vmem[j] - n_spikes;
   }
   return vmem;
 }

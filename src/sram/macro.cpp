@@ -29,6 +29,14 @@ BitVec SramMacro::observed_row(std::size_t row) const {
   return (bits_[row] & ~stuck0_[row]) | stuck1_[row];
 }
 
+void SramMacro::observed_row_into(std::size_t row, BitVec& out) const {
+  out.assign(bits_[row]);
+  if (!stuck0_.empty()) {
+    out.andnot_assign(stuck0_[row]);
+    out |= stuck1_[row];
+  }
+}
+
 void SramMacro::apply_faults(const FaultMap& map) {
   const std::size_t rows = geometry().rows;
   const std::size_t cols = geometry().cols;
@@ -76,17 +84,27 @@ void SramMacro::load(const std::vector<BitVec>& rows) {
   bits_ = rows;
 }
 
-BitVec SramMacro::read_row(std::size_t port, std::size_t row) {
-  check_row(row);
+void SramMacro::account_inference_read(std::size_t port) {
   const std::size_t usable_ports =
       spec().read_ports == 0 ? 1 : spec().read_ports;
   if (port >= usable_ports) {
-    throw std::out_of_range("SramMacro::read_row: port " +
-                            std::to_string(port) + " out of range");
+    throw std::out_of_range("SramMacro: read port " + std::to_string(port) +
+                            " out of range");
   }
   ++stats_.inference_row_reads;
   post(util::EnergyCategory::kSramRead, timing_.inference_row_read_energy());
+}
+
+BitVec SramMacro::read_row(std::size_t port, std::size_t row) {
+  check_row(row);
+  account_inference_read(port);
   return observed_row(row);
+}
+
+void SramMacro::read_row_into(std::size_t port, std::size_t row, BitVec& out) {
+  check_row(row);
+  account_inference_read(port);
+  observed_row_into(row, out);
 }
 
 OpProfile SramMacro::inference_read_profile() const {

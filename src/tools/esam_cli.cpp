@@ -13,6 +13,9 @@
 //   --inferences N      test inferences to stream (default 500)
 //   --trace FILE.vcd    write a pipeline activity trace (report)
 //   --low-power         use the HVT 500 mV operating point (report)
+//   --threads N         simulator worker threads (0 = all cores, default 1)
+//   --batch N           inferences per pipeline batch (0 = whole stream as
+//                       one batch; defaults to 32 when --threads is given)
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -35,6 +38,19 @@ struct CliOptions {
   std::size_t inferences = 500;
   std::string trace_path;
   bool low_power = false;
+  std::size_t threads = 1;
+  std::size_t batch = 0;
+
+  /// True when any batched-engine option was given.
+  [[nodiscard]] bool batched() const { return threads != 1 || batch != 0; }
+  [[nodiscard]] arch::RunConfig run_config() const {
+    // --threads without --batch gets the default batch size: batch 0 means
+    // "whole stream as one batch", which would leave nothing to shard.
+    const std::size_t effective_batch =
+        (threads != 1 && batch == 0) ? arch::RunConfig::kDefaultBatchSize
+                                     : batch;
+    return {.num_threads = threads, .batch_size = effective_batch};
+  }
 };
 
 std::optional<sram::CellKind> parse_cell(const std::string& name) {
@@ -48,7 +64,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: esam <info|report|sweep-cells|sweep-vprech|learn> "
                "[--cell NAME] [--vprech MV] [--inferences N] "
-               "[--trace FILE.vcd] [--low-power]\n");
+               "[--trace FILE.vcd] [--low-power] [--threads N] [--batch N]\n");
   return 2;
 }
 
@@ -82,6 +98,14 @@ std::optional<CliOptions> parse_options(int argc, char** argv, int first) {
       opt.trace_path = v;
     } else if (arg == "--low-power") {
       opt.low_power = true;
+    } else if (arg == "--threads") {
+      const char* v = need_value();
+      if (v == nullptr) return std::nullopt;
+      opt.threads = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--batch") {
+      const char* v = need_value();
+      if (v == nullptr) return std::nullopt;
+      opt.batch = static_cast<std::size_t>(std::atoll(v));
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return std::nullopt;
@@ -153,8 +177,16 @@ int cmd_report(const CliOptions& opt) {
   std::unique_ptr<arch::VcdTraceWriter> tracer;
   if (!opt.trace_path.empty()) {
     tracer = std::make_unique<arch::VcdTraceWriter>(opt.trace_path);
+    if (opt.batched()) {
+      std::fprintf(stderr,
+                   "esam: --trace needs a single well-defined cycle order; "
+                   "ignoring --threads/--batch\n");
+    }
   }
-  const arch::RunResult r = sim.run(inputs, &labels, tracer.get());
+  const arch::RunResult r =
+      (opt.batched() && tracer == nullptr)
+          ? sim.run_batched(inputs, &labels, opt.run_config())
+          : sim.run(inputs, &labels, tracer.get());
 
   util::Table table(std::string("esam report -- ") +
                     std::string(sram::to_string(opt.cell)) + " @ " +
@@ -170,6 +202,8 @@ int cmd_report(const CliOptions& opt) {
   table.row({"accuracy", util::fmt("%.2f %%", 100.0 * r.accuracy)});
   table.row({"cycles / inference",
              util::fmt("%.1f", r.avg_cycles_per_inference)});
+  table.row({"simulator",
+             util::fmt("%zu threads, %zu batches", r.threads, r.batches)});
   for (int c = 0; c < static_cast<int>(util::EnergyCategory::kCount); ++c) {
     const auto cat = static_cast<util::EnergyCategory>(c);
     table.row({"  energy: " + std::string(util::to_string(cat)),
@@ -196,7 +230,7 @@ int cmd_sweep_cells(const CliOptions& opt) {
     hw.cell = k;
     hw.vprech = util::millivolts(opt.vprech_mv);
     core::EsamSystem system(model, hw);
-    const core::SystemReport r = system.evaluate(opt.inferences);
+    const core::SystemReport r = system.evaluate(opt.inferences, opt.run_config());
     table.row({r.cell, util::fmt("%.0f", r.clock_mhz),
                util::fmt("%.1f", r.throughput_minf_per_s),
                util::fmt("%.0f", r.energy_per_inf_pj),

@@ -71,6 +71,26 @@ std::vector<std::size_t> BitVec::set_bits() const {
   return out;
 }
 
+std::size_t BitVec::and_count(const BitVec& o) const {
+  check_same_size(o);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] & o.words_[i]));
+  }
+  return n;
+}
+
+BitVec& BitVec::andnot_assign(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+void BitVec::assign(const BitVec& o) {
+  check_same_size(o);
+  words_.assign(o.words_.begin(), o.words_.end());
+}
+
 BitVec BitVec::operator&(const BitVec& o) const {
   BitVec r = *this;
   r &= o;

@@ -135,5 +135,41 @@ TEST(BitVecProperty, DeMorgan) {
   }
 }
 
+TEST(BitVec, AssignReusesStorageAndCopiesBits) {
+  BitVec a = BitVec::from_string("10110");
+  BitVec b(5);
+  b.assign(a);
+  EXPECT_EQ(a, b);
+  b.set(1);
+  EXPECT_FALSE(a.test(1));  // deep copy, not aliasing
+}
+
+TEST(BitVec, AndnotAssignClearsBitsSetInOther) {
+  BitVec a = BitVec::from_string("11110000");
+  const BitVec mask = BitVec::from_string("10101010");
+  a.andnot_assign(mask);
+  EXPECT_EQ(a.to_string(), "01010000");
+  EXPECT_THROW(a.andnot_assign(BitVec(7)), std::invalid_argument);
+}
+
+// Property: the word-level kernels agree with their naive per-bit
+// definitions over random vectors, including sizes off the 64-bit grid.
+TEST(BitVecProperty, WordKernelsMatchNaiveDefinitions) {
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(200);
+    BitVec a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.4)) a.set(i);
+      if (rng.bernoulli(0.4)) b.set(i);
+    }
+    EXPECT_EQ(a.and_count(b), (a & b).count());
+
+    std::vector<std::size_t> visited;
+    a.for_each_set([&visited](std::size_t i) { visited.push_back(i); });
+    EXPECT_EQ(visited, a.set_bits());
+  }
+}
+
 }  // namespace
 }  // namespace esam::util

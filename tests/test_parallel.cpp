@@ -1,0 +1,196 @@
+// Tests for the batched multi-threaded simulation engine: sharded runs must
+// be bit-for-bit identical to single-threaded runs (predictions, cycle
+// counts, merged ledger energies), tiles must deep-clone, and the engine
+// must reject malformed input like run() does.
+#include <gtest/gtest.h>
+
+#include "esam/arch/system.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::arch {
+namespace {
+
+nn::SnnNetwork random_snn(const std::vector<std::size_t>& shape,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::BnnNetwork bnn(shape, rng);
+  for (auto& l : bnn.layers()) {
+    for (auto& b : l.bias) b = static_cast<float>(rng.uniform(-5.0, 5.0));
+  }
+  return nn::SnnNetwork::from_bnn(bnn);
+}
+
+std::vector<util::BitVec> random_inputs(std::size_t n, std::size_t width,
+                                        std::uint64_t seed,
+                                        double density = 0.25) {
+  util::Rng rng(seed);
+  std::vector<util::BitVec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::BitVec v(width);
+    for (std::size_t k = 0; k < width; ++k) {
+      if (rng.bernoulli(density)) v.set(k);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+/// Exact (bit-level) equality of two run results, including the per-category
+/// ledger energies. Doubles are compared with == on purpose: the merge order
+/// is fixed, so even floating-point sums must agree exactly.
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(util::in_seconds(a.elapsed), util::in_seconds(b.elapsed));
+  for (int c = 0; c < static_cast<int>(util::EnergyCategory::kCount); ++c) {
+    const auto cat = static_cast<util::EnergyCategory>(c);
+    EXPECT_EQ(a.ledger.energy(cat).base(), b.ledger.energy(cat).base())
+        << "category " << util::to_string(cat);
+  }
+  EXPECT_EQ(a.ledger.total_energy().base(), b.ledger.total_energy().base());
+  EXPECT_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(Parallel, MultiThreadMatchesSingleThreadExactly) {
+  const nn::SnnNetwork snn = random_snn({96, 64, 32, 7}, 201);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(100, 96, 202);
+
+  RunConfig base;
+  base.num_threads = 1;
+  base.batch_size = 16;
+  const RunResult single = sim.run_batched(inputs, nullptr, base);
+  EXPECT_EQ(single.threads, 1u);
+  EXPECT_EQ(single.batches, 7u);  // ceil(100 / 16)
+
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    RunConfig cfg;
+    cfg.num_threads = threads;
+    cfg.batch_size = 16;
+    const RunResult multi = sim.run_batched(inputs, nullptr, cfg);
+    expect_identical(single, multi);
+  }
+}
+
+TEST(Parallel, LabelsAndAccuracyIdenticalAcrossThreadCounts) {
+  const nn::SnnNetwork snn = random_snn({64, 32, 4}, 210);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(60, 64, 211);
+  std::vector<std::uint8_t> labels(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    labels[i] = static_cast<std::uint8_t>(i % 4);
+  }
+  RunConfig one{.num_threads = 1, .batch_size = 8};
+  RunConfig eight{.num_threads = 8, .batch_size = 8};
+  const RunResult a = sim.run_batched(inputs, &labels, one);
+  const RunResult b = sim.run_batched(inputs, &labels, eight);
+  expect_identical(a, b);
+}
+
+TEST(Parallel, PredictionsMatchLegacySingleStreamRun) {
+  // Pipelining / batching never changes what an inference computes, only
+  // how cycles are accounted -- predictions must match the continuous run.
+  const nn::SnnNetwork snn = random_snn({96, 48, 5}, 220);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(70, 96, 221);
+  const RunResult stream = sim.run(inputs);
+  const RunResult batched =
+      sim.run_batched(inputs, nullptr, {.num_threads = 4, .batch_size = 0});
+  EXPECT_EQ(stream.predictions, batched.predictions);
+}
+
+TEST(Parallel, MatchesSoftwareReferenceUnderThreads) {
+  const nn::SnnNetwork snn = random_snn({128, 64, 9}, 230);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(48, 128, 231);
+  const RunResult r =
+      sim.run_batched(inputs, nullptr, {.num_threads = 3, .batch_size = 7});
+  ASSERT_EQ(r.predictions.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(r.predictions[i], snn.predict(inputs[i])) << "inference " << i;
+  }
+}
+
+TEST(Parallel, WholeStreamAsOneBatchEqualsLegacyRun) {
+  const nn::SnnNetwork snn = random_snn({64, 32, 6}, 240);
+  SystemSimulator a(tech::imec3nm(), snn, {});
+  SystemSimulator b(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(40, 64, 241);
+  const RunResult stream = a.run(inputs);
+  const RunResult one_batch =
+      b.run_batched(inputs, nullptr, {.num_threads = 1, .batch_size = 40});
+  expect_identical(stream, one_batch);
+}
+
+TEST(Parallel, BatchSizeZeroIsWholeStreamRegardlessOfThreads) {
+  // batch_size 0 = one batch covering everything: identical to run() even
+  // when many threads are requested (there is only one unit of work), and
+  // a batch size larger than the input count clamps to the same thing.
+  const nn::SnnNetwork snn = random_snn({64, 32, 6}, 245);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(30, 64, 246);
+  const RunResult stream = sim.run(inputs);
+  const RunResult zero =
+      sim.run_batched(inputs, nullptr, {.num_threads = 8, .batch_size = 0});
+  expect_identical(stream, zero);
+  EXPECT_EQ(zero.batches, 1u);
+  const RunResult oversized = sim.run_batched(
+      inputs, nullptr, {.num_threads = 8, .batch_size = 1000000});
+  expect_identical(stream, oversized);
+}
+
+TEST(Parallel, RepeatedRunsAreDeterministic) {
+  // Worker pipelines are cloned per run; state never bleeds across calls.
+  const nn::SnnNetwork snn = random_snn({96, 48, 8}, 250);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(64, 96, 251);
+  const RunConfig cfg{.num_threads = 4, .batch_size = 8};
+  const RunResult first = sim.run_batched(inputs, nullptr, cfg);
+  const RunResult second = sim.run_batched(inputs, nullptr, cfg);
+  expect_identical(first, second);
+}
+
+TEST(Parallel, ThreadsCappedByBatchCount) {
+  const nn::SnnNetwork snn = random_snn({32, 8}, 260);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(10, 32, 261);
+  const RunResult r =
+      sim.run_batched(inputs, nullptr, {.num_threads = 16, .batch_size = 5});
+  EXPECT_EQ(r.batches, 2u);
+  EXPECT_LE(r.threads, 2u);
+}
+
+TEST(Parallel, RejectsBadInputLikeRun) {
+  const nn::SnnNetwork snn = random_snn({32, 8}, 270);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  EXPECT_THROW((void)sim.run_batched({}), std::invalid_argument);
+  const auto inputs = random_inputs(4, 32, 271);
+  std::vector<std::uint8_t> labels(3, 0);
+  EXPECT_THROW((void)sim.run_batched(inputs, &labels), std::invalid_argument);
+}
+
+TEST(Parallel, TileDeepCopyIsIndependent) {
+  const nn::SnnNetwork snn = random_snn({32, 16}, 280);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  Tile copy = sim.tile(0);
+
+  // Flip a weight bit in the original; the copy must keep the old value.
+  const bool before = copy.macro(0, 0).peek(3, 5);
+  sim.tile(0).macro(0, 0).poke(3, 5, !before);
+  EXPECT_EQ(copy.macro(0, 0).peek(3, 5), before);
+  EXPECT_EQ(sim.tile(0).macro(0, 0).peek(3, 5), !before);
+
+  // And the copy's macros must not post into any ledger of the original.
+  util::EnergyLedger ledger;
+  sim.tile(0).attach_ledger(&ledger);
+  Tile detached = sim.tile(0);
+  const util::BitVec spikes = random_inputs(1, 32, 281)[0];
+  detached.start_inference(spikes);
+  while (detached.busy()) detached.step();
+  EXPECT_EQ(ledger.total_energy().base(), 0.0);
+}
+
+}  // namespace
+}  // namespace esam::arch
