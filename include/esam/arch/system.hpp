@@ -16,6 +16,7 @@
 
 #include "esam/arch/tile.hpp"
 #include "esam/arch/trace.hpp"
+#include "esam/learning/online_trainer.hpp"
 #include "esam/nn/convert.hpp"
 
 namespace esam::arch {
@@ -75,6 +76,45 @@ struct RunResult {
   std::size_t threads = 1;
 };
 
+/// Configuration of one online-training run (see run_online).
+struct OnlineTrainConfig {
+  /// Train/eval rounds over the sample stream.
+  std::size_t epochs = 1;
+  /// Teacher configuration (base STDP seed; per-tile seeds are derived).
+  learning::TrainerConfig trainer{};
+  /// Execution config of the interleaved eval phases. Like everywhere else,
+  /// num_threads is a simulation-software knob only: eval results are
+  /// bit-identical for every thread count.
+  RunConfig eval{};
+};
+
+/// Per-epoch outcome of an online-training run.
+struct OnlineEpochStats {
+  /// Fraction of training samples whose pre-update winner was the label
+  /// (the rolling in-the-field accuracy a deployed system would observe).
+  double online_accuracy = 0.0;
+  /// Post-epoch accuracy of the batched eval phase.
+  double eval_accuracy = 0.0;
+  /// Column updates applied during this epoch.
+  learning::LearningStats learning;
+};
+
+/// Outcome of run_online: the accuracy-over-time curve plus the final eval
+/// with the cumulative learning cost folded into its ledger.
+struct OnlineRunResult {
+  /// Eval accuracy before any update (e.g. right after input drift).
+  double initial_accuracy = 0.0;
+  std::vector<OnlineEpochStats> epochs;
+  /// Cumulative column-update stats over all epochs.
+  learning::LearningStats learning;
+  /// Last eval phase; its ledger carries the cumulative learning energy
+  /// under EnergyCategory::kLearning, and its elapsed time includes the
+  /// learning wall-clock (with leakage integrated over that interval), so
+  /// energy_per_inference / average_power / throughput report the combined
+  /// adapt-and-infer cost.
+  RunResult final_eval;
+};
+
 class SystemSimulator {
  public:
   /// Builds one tile per SNN layer and loads the converted weights.
@@ -116,6 +156,17 @@ class SystemSimulator {
   RunResult run_batched(const std::vector<BitVec>& inputs,
                         const std::vector<std::uint8_t>* labels = nullptr,
                         const RunConfig& run_cfg = {});
+
+  /// Online-training engine: per epoch, streams every sample serially
+  /// through the canonical tiles and applies the supervised STDP teacher
+  /// (the updates mutate the SRAM weights in place), then evaluates the
+  /// adapted weights with the deterministic batched engine. Learning is
+  /// serial by construction -- column updates are read-modify-writes into
+  /// shared state -- so the whole run, curve included, is bit-identical
+  /// across eval thread counts (tests/test_online_trainer.cpp pins this).
+  OnlineRunResult run_online(const std::vector<BitVec>& inputs,
+                             const std::vector<std::uint8_t>& labels,
+                             const OnlineTrainConfig& cfg = {});
 
  private:
   /// One per-batch pipeline stream over `tiles` (the core loop shared by

@@ -133,6 +133,15 @@ class Tile {
   [[nodiscard]] const sram::SramMacro& macro(std::size_t row_group,
                                              std::size_t col_group) const;
 
+  /// Learning-path readout maintenance: the stored offset (S_j - b_j)/2 is
+  /// a function of neuron j's column weight sum S_j, so when a column
+  /// update flips bits the learner shifts the offset along (+1 per 0->1
+  /// flip) to keep output_scores() consistent with the new weights.
+  void adjust_readout_offset(std::size_t neuron, float delta);
+  [[nodiscard]] float readout_offset(std::size_t neuron) const {
+    return readout_offsets_.at(neuron);
+  }
+
  private:
   void fire_phase();
   [[nodiscard]] std::size_t array_rows(std::size_t row_group) const;

@@ -22,8 +22,10 @@
 
 #include "esam/arch/system.hpp"
 #include "esam/data/dataset.hpp"
+#include "esam/data/drift.hpp"
 #include "esam/nn/bnn.hpp"
 #include "esam/nn/convert.hpp"
+#include "esam/tech/technology.hpp"
 
 namespace esam::core {
 
@@ -79,11 +81,56 @@ struct SystemReport {
   void print() const;
 };
 
+/// Online-learning scenario configuration: drift the test inputs, then adapt
+/// the deployed weights in the field with the supervised STDP teacher.
+struct OnlineOptions {
+  std::size_t max_inferences = 500;  ///< test samples to use (0 = all)
+  std::size_t epochs = 2;            ///< train/eval rounds after the drift
+  double drift_fraction = 0.25;      ///< fraction of input positions permuted
+  std::uint64_t drift_seed = 2026;
+  /// Teacher rates: the fine-tuning operating point. A gradient-trained
+  /// output layer is close to optimal, so each miss may only nudge its
+  /// columns -- aggressive rates (>~0.2, right for learning from scratch)
+  /// demonstrably erase the deployed structure faster than they adapt it.
+  learning::TrainerConfig trainer{
+      .stdp = {.p_potentiation = 0.05, .p_depression = 0.015, .seed = 99}};
+  arch::RunConfig run{};  ///< execution config of the eval phases
+};
+
+/// Results of the system-level online-learning scenario (sec. 4.4.1 at
+/// Fig. 8 scale: accuracy recovery plus the hardware cost of the updates).
+struct OnlineReport {
+  std::string cell;
+  std::string dataset_source;
+  std::size_t inferences = 0;
+  std::size_t epochs = 0;
+  double drift_fraction = 0.0;
+  double accuracy_clean = 0.0;    ///< deployed weights on clean inputs
+  double accuracy_drifted = 0.0;  ///< same weights right after the drift
+  std::vector<double> epoch_eval_accuracy;
+  std::vector<double> epoch_online_accuracy;
+  std::uint64_t column_updates = 0;
+  double learning_time_us = 0.0;
+  double learning_energy_pj = 0.0;
+  /// Final eval energy/inference including the learning component.
+  double energy_per_inf_pj = 0.0;
+  /// Learning share of the final total energy, in [0, 1].
+  double learning_energy_share = 0.0;
+  std::size_t sim_threads = 1;
+
+  void print() const;
+};
+
 class EsamSystem {
  public:
-  /// Builds the hardware for `hw` and loads the model's weights. The model
-  /// must outlive the system.
+  /// Builds the hardware for `hw` on the nominal 3nm node and loads the
+  /// model's weights. The model must outlive the system.
   EsamSystem(const TrainedModel& model, arch::SystemConfig hw);
+
+  /// Same, on an explicit technology node (e.g. tech::imec3nm_low_power();
+  /// the node must outlive the system).
+  EsamSystem(const TrainedModel& model, arch::SystemConfig hw,
+             const tech::TechnologyParams& node);
 
   [[nodiscard]] arch::SystemSimulator& simulator() { return sim_; }
   [[nodiscard]] const arch::SystemSimulator& simulator() const { return sim_; }
@@ -96,6 +143,13 @@ class EsamSystem {
   /// arch::SystemSimulator::run_batched).
   SystemReport evaluate(std::size_t max_inferences = 0,
                         const arch::RunConfig& run_cfg = {});
+
+  /// Runs the online-learning scenario: measures clean accuracy, applies a
+  /// data::DriftGenerator permutation to the test inputs, then lets
+  /// arch::SystemSimulator::run_online adapt the output layer. Mutates the
+  /// simulator's SRAM weights (that is the point); build a fresh EsamSystem
+  /// to return to the deployed weights.
+  OnlineReport learn_online(const OnlineOptions& opt = {});
 
  private:
   const TrainedModel* model_;

@@ -1,0 +1,46 @@
+// Deterministic input-distribution drift for online-learning scenarios.
+//
+// Models the paper's "learning in the field" motivation (sec. 2.2): a
+// deployed classifier keeps receiving the same underlying patterns, but the
+// input wiring drifts -- here, a fixed seeded permutation of a fraction of
+// the input positions. Applied to spike vectors the permutation preserves
+// spike counts (so the hardware activity and energy profile are unchanged)
+// while scrambling the spatial code the deployed weights were trained for,
+// which is exactly the situation the STDP teacher has to recover from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "esam/util/bitvec.hpp"
+
+namespace esam::data {
+
+class DriftGenerator {
+ public:
+  /// Permutes ceil(fraction * width) positions (fraction clamped to [0, 1])
+  /// through one seeded cycle; every selected position is guaranteed to
+  /// move. The remaining positions map to themselves.
+  DriftGenerator(std::size_t width, double fraction, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t width() const { return perm_.size(); }
+  /// Number of positions that do not map to themselves.
+  [[nodiscard]] std::size_t moved_count() const { return moved_; }
+  /// Full permutation: bit i of the input lands at permutation()[i].
+  [[nodiscard]] const std::vector<std::size_t>& permutation() const {
+    return perm_;
+  }
+
+  /// Applies the drift to one spike vector (width must match).
+  [[nodiscard]] util::BitVec apply(const util::BitVec& input) const;
+
+  /// Applies the drift to a whole stream.
+  [[nodiscard]] std::vector<util::BitVec> apply_all(
+      const std::vector<util::BitVec>& inputs) const;
+
+ private:
+  std::vector<std::size_t> perm_;
+  std::size_t moved_ = 0;
+};
+
+}  // namespace esam::data

@@ -25,6 +25,12 @@ struct LearningStats {
   std::uint64_t column_updates = 0;
   Time time{};      ///< wall-clock learning time (row-groups in parallel)
   Energy energy{};  ///< total energy of the updates
+
+  /// Component-wise difference (this - start); for per-epoch costing.
+  [[nodiscard]] LearningStats since(const LearningStats& start) const {
+    return {column_updates - start.column_updates, time - start.time,
+            energy - start.energy};
+  }
 };
 
 class OnlineLearner {
@@ -37,6 +43,9 @@ class OnlineLearner {
 
   /// Applies one anti-causal (punish) update.
   void punish(std::size_t j, const util::BitVec& pre_spikes);
+
+  /// The STDP configuration this learner draws from (seed included).
+  [[nodiscard]] const StdpConfig& config() const { return rule_.config(); }
 
   [[nodiscard]] const LearningStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }

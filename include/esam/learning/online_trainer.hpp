@@ -1,0 +1,86 @@
+// System-level online-training engine (paper secs. 2.2, 4.4.1).
+//
+// Drives supervised stochastic-STDP updates through a *multi-tile* pipeline:
+// one sample is streamed serially through the cascaded tiles, the winner is
+// read from the output tile's membrane potentials (winner-take-all), and the
+// teacher rewards the labelled neuron's weight column / punishes a wrong
+// winner -- each update one column read-modify-write through the transposed
+// RW port of the output tile's macros.
+//
+// Determinism contract: the trainer owns one OnlineLearner per tile, seeded
+// with derive_learner_seed(base_seed, tile_index) so the per-tile Bernoulli
+// streams are decorrelated (a shared default seed would make every tile draw
+// the *same* update pattern) yet fully reproducible: the same base seed,
+// tiles and sample order always produce bit-identical weights. Only the
+// output-layer learner is driven today; hidden-layer rules are a ROADMAP
+// item, and the per-tile learners are already plumbed for them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "esam/arch/tile.hpp"
+#include "esam/learning/online_learner.hpp"
+
+namespace esam::learning {
+
+/// Derives the per-tile STDP seed from a base seed: splitmix64 of the tile
+/// index XORed into the base. Stateless and documented so tests (and future
+/// checkpointing) can reproduce a learner's stream in isolation.
+[[nodiscard]] std::uint64_t derive_learner_seed(std::uint64_t base_seed,
+                                                std::size_t tile_index);
+
+/// Teacher configuration. `stdp.seed` is the *base* seed; per-tile learner
+/// seeds are derived from it (see derive_learner_seed).
+struct TrainerConfig {
+  StdpConfig stdp{};
+  /// Also depress the wrong winner's column on a miss (the supervised
+  /// punish signal of the examples); reward-only when false.
+  bool punish_wrong_winner = true;
+  /// Error-driven by default: a correctly classified sample leaves the
+  /// weights alone, so updates taper off as the network adapts and an
+  /// already-good deployment is not churned. Set true to also reinforce
+  /// correct predictions (pure reward/punish STDP).
+  bool update_on_correct = false;
+};
+
+class OnlineTrainer {
+ public:
+  /// Attaches to a tile pipeline (tiles must outlive the trainer; the last
+  /// tile must be an output layer exposing Vmem).
+  OnlineTrainer(std::vector<arch::Tile>& tiles, TrainerConfig cfg);
+
+  /// Forward pass only: streams `input` serially through the tiles and
+  /// returns the winner-take-all class from the output tile's neuron Vmem
+  /// (offset-corrected, i.e. the same readout the inference engine reports,
+  /// so teacher and eval always agree on what "wrong" means).
+  [[nodiscard]] std::size_t classify(const util::BitVec& input);
+
+  /// One supervised step: classifies `input`, then rewards `label`'s column
+  /// (and punishes the wrong winner) on the output tile using the spikes
+  /// that actually arrived there. Returns the pre-update winner, so callers
+  /// can fold it into an online-accuracy estimate.
+  std::size_t train_sample(const util::BitVec& input, std::size_t label);
+
+  [[nodiscard]] const TrainerConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t tile_count() const { return learners_.size(); }
+  [[nodiscard]] const OnlineLearner& learner(std::size_t tile) const {
+    return learners_.at(tile);
+  }
+
+  /// Aggregate column-update stats over every per-tile learner.
+  [[nodiscard]] LearningStats stats() const;
+  void reset_stats();
+
+ private:
+  /// Runs the pipeline serially for one input; leaves the output tile's
+  /// Vmem readable and stores the spikes that entered the last tile.
+  void forward(const util::BitVec& input);
+
+  std::vector<arch::Tile>* tiles_;
+  TrainerConfig cfg_;
+  std::vector<OnlineLearner> learners_;
+  util::BitVec last_tile_input_;  ///< pre-synaptic spikes of the output tile
+};
+
+}  // namespace esam::learning

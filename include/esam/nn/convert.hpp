@@ -50,6 +50,11 @@ class SnnNetwork {
   /// Converts a trained BNN (exact, see header comment).
   static SnnNetwork from_bnn(const BnnNetwork& bnn);
 
+  /// Builds a network from hand-made layers (online-learning scenarios and
+  /// tests that do not start from a trained BNN). Validates that each
+  /// layer's fields agree in size and that consecutive layers chain.
+  static SnnNetwork from_layers(std::vector<SnnLayer> layers);
+
   [[nodiscard]] const std::vector<SnnLayer>& layers() const { return layers_; }
   [[nodiscard]] std::vector<std::size_t> shape() const;
 

@@ -61,10 +61,17 @@ class SramMacro {
   void clear_faults();
   /// Number of currently faulty cells.
   [[nodiscard]] std::size_t fault_count() const;
+  /// Whether a fault map is installed (cheap; the learning path skips its
+  /// post-write verification rescan on pristine arrays).
+  [[nodiscard]] bool has_faults() const { return !stuck0_.empty(); }
 
   // --- cost-free content access (test / setup plumbing, not hardware) -------
 
   [[nodiscard]] bool peek(std::size_t row, std::size_t col) const;
+  /// Cost-free fault-masked view of one full column (what a read would
+  /// observe; the learning path uses it to measure what a column write
+  /// actually changed on a faulty array).
+  [[nodiscard]] BitVec peek_column(std::size_t col) const;
   void poke(std::size_t row, std::size_t col, bool value);
   /// Loads a full weight matrix (row-major, rows x cols), cost-free.
   void load(const std::vector<BitVec>& rows);

@@ -86,6 +86,12 @@ class BitVec {
   /// popcount(*this & o) without materializing the intermediate vector.
   [[nodiscard]] std::size_t and_count(const BitVec& o) const;
 
+  /// Word-packed copy of `len` bits starting at `offset` (a funnel shift per
+  /// output word instead of a test()/set() loop per bit). The learning path
+  /// uses this to carve per-row-group pre-synaptic slices out of a tile-wide
+  /// spike vector. Requires offset + len <= size().
+  [[nodiscard]] BitVec slice(std::size_t offset, std::size_t len) const;
+
   /// *this &= ~o (clears every bit that is set in `o`).
   BitVec& andnot_assign(const BitVec& o);
 

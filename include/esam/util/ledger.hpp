@@ -23,6 +23,7 @@ enum class EnergyCategory : std::uint8_t {
   kNeuron,          ///< neuron accumulate / compare / register update
   kFabric,          ///< inter-tile binary-pulse wires
   kClock,           ///< clock tree / pipeline registers
+  kLearning,        ///< online-learning column updates (transposed RW port)
   kLeakage,         ///< integrated static power
   kCount
 };

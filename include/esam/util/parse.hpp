@@ -1,0 +1,51 @@
+// Strict numeric parsing for command-line front ends.
+//
+// std::atoll-style parsing silently accepts garbage ("12abc" -> 12) and
+// negative values that wrap when cast to size_t ("--threads -1" becomes
+// SIZE_MAX). These helpers reject anything that is not exactly one number in
+// range, so frontends can print a usage message instead of misbehaving.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace esam::util {
+
+/// Parses a non-negative decimal integer ("0", "42"). Rejects signs,
+/// whitespace, trailing characters, and values that overflow std::size_t.
+[[nodiscard]] inline std::optional<std::size_t> parse_size(
+    std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Parses a finite decimal floating-point number ("0.25", "500"). Rejects
+/// empty input, trailing characters, and hex/inf/nan spellings.
+[[nodiscard]] inline std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // std::from_chars<double> is still missing from some libc++ versions the CI
+  // matrix covers, so parse via strtod on a bounded copy instead.
+  const std::string buf(text);
+  if (buf.find_first_not_of("+-.0123456789eE") != std::string::npos) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace esam::util

@@ -12,6 +12,11 @@
 
 namespace esam::util {
 
+/// One splitmix64 step: a stateless 64-bit mix with good avalanche. Used to
+/// derive decorrelated per-component seeds from (base seed, component index)
+/// pairs -- e.g. one STDP stream per tile in the online trainer.
+[[nodiscard]] std::uint64_t splitmix64_mix(std::uint64_t x);
+
 /// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
 /// Deterministic across platforms, 2^256-1 period, passes BigCrush.
 class Rng {

@@ -308,4 +308,58 @@ RunResult SystemSimulator::run_batched(const std::vector<BitVec>& inputs,
   return result;
 }
 
+OnlineRunResult SystemSimulator::run_online(
+    const std::vector<BitVec>& inputs, const std::vector<std::uint8_t>& labels,
+    const OnlineTrainConfig& cfg) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("SystemSimulator::run_online: no inputs");
+  }
+  if (labels.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "SystemSimulator::run_online: label count mismatch");
+  }
+  const std::size_t classes = tiles_.back().config().outputs;
+  for (const std::uint8_t y : labels) {
+    if (y >= classes) {
+      throw std::invalid_argument(
+          "SystemSimulator::run_online: label exceeds output count");
+    }
+  }
+
+  OnlineRunResult out;
+  RunResult eval = run_batched(inputs, &labels, cfg.eval);
+  out.initial_accuracy = eval.accuracy;
+
+  learning::OnlineTrainer trainer(tiles_, cfg.trainer);
+  const std::size_t n = inputs.size();
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const learning::LearningStats before = trainer.stats();
+    std::size_t online_hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (trainer.train_sample(inputs[i], labels[i]) == labels[i]) {
+        ++online_hits;
+      }
+    }
+    eval = run_batched(inputs, &labels, cfg.eval);
+
+    OnlineEpochStats ep;
+    ep.online_accuracy =
+        static_cast<double>(online_hits) / static_cast<double>(n);
+    ep.eval_accuracy = eval.accuracy;
+    ep.learning = trainer.stats().since(before);
+    out.epochs.push_back(ep);
+  }
+  out.learning = trainer.stats();
+
+  // Fold the cumulative learning cost into the final eval phase so its
+  // derived metrics describe the combined adapt-and-infer workload. The
+  // arrays keep leaking while the column updates run, so the learning
+  // interval integrates static power like every simulated cycle does.
+  eval.ledger.add(util::EnergyCategory::kLearning, out.learning.energy);
+  eval.ledger.advance_time_with_leakage(out.learning.time, total_leakage());
+  finalize_metrics(eval, n, &labels);
+  out.final_eval = std::move(eval);
+  return out;
+}
+
 }  // namespace esam::arch

@@ -276,6 +276,10 @@ void Tile::consume_output() {
   output_ready_ = false;
 }
 
+void Tile::adjust_readout_offset(std::size_t neuron, float delta) {
+  readout_offsets_.at(neuron) += delta;
+}
+
 void Tile::reset_membranes() {
   for (auto& n : neurons_) n.reset();
 }

@@ -46,7 +46,11 @@ TrainedModel TrainedModel::create(const ModelConfig& cfg) {
 }
 
 EsamSystem::EsamSystem(const TrainedModel& model, arch::SystemConfig hw)
-    : model_(&model), sim_(tech::imec3nm(), model.snn, hw) {}
+    : EsamSystem(model, hw, tech::imec3nm()) {}
+
+EsamSystem::EsamSystem(const TrainedModel& model, arch::SystemConfig hw,
+                       const tech::TechnologyParams& node)
+    : model_(&model), sim_(node, model.snn, hw) {}
 
 SystemReport EsamSystem::evaluate(std::size_t max_inferences,
                                   const arch::RunConfig& run_cfg) {
@@ -91,6 +95,84 @@ SystemReport EsamSystem::evaluate(std::size_t max_inferences,
   rep.sim_threads = r.threads;
   rep.sim_batches = r.batches;
   return rep;
+}
+
+OnlineReport EsamSystem::learn_online(const OnlineOptions& opt) {
+  const data::PreparedDataset& test = model_->data.test;
+  std::size_t n = test.size();
+  if (opt.max_inferences != 0 && opt.max_inferences < n) {
+    n = opt.max_inferences;
+  }
+  const std::vector<util::BitVec> inputs(
+      test.spikes.begin(),
+      test.spikes.begin() + static_cast<std::ptrdiff_t>(n));
+  const std::vector<std::uint8_t> labels(
+      test.labels.begin(),
+      test.labels.begin() + static_cast<std::ptrdiff_t>(n));
+
+  OnlineReport rep;
+  rep.cell = std::string(sram::to_string(sim_.config().cell));
+  rep.dataset_source = test.source;
+  rep.inferences = n;
+  rep.epochs = opt.epochs;
+  rep.drift_fraction = opt.drift_fraction;
+
+  rep.accuracy_clean = sim_.run_batched(inputs, &labels, opt.run).accuracy;
+
+  const data::DriftGenerator drift(inputs.front().size(), opt.drift_fraction,
+                                   opt.drift_seed);
+  const std::vector<util::BitVec> drifted = drift.apply_all(inputs);
+
+  arch::OnlineTrainConfig cfg;
+  cfg.epochs = opt.epochs;
+  cfg.trainer = opt.trainer;
+  cfg.eval = opt.run;
+  const arch::OnlineRunResult r = sim_.run_online(drifted, labels, cfg);
+
+  rep.accuracy_drifted = r.initial_accuracy;
+  for (const arch::OnlineEpochStats& ep : r.epochs) {
+    rep.epoch_eval_accuracy.push_back(ep.eval_accuracy);
+    rep.epoch_online_accuracy.push_back(ep.online_accuracy);
+  }
+  rep.column_updates = r.learning.column_updates;
+  rep.learning_time_us = util::in_microseconds(r.learning.time);
+  rep.learning_energy_pj = util::in_picojoules(r.learning.energy);
+  rep.energy_per_inf_pj = util::in_picojoules(r.final_eval.energy_per_inference);
+  const double total_pj =
+      util::in_picojoules(r.final_eval.ledger.total_energy());
+  rep.learning_energy_share =
+      total_pj > 0.0 ? rep.learning_energy_pj / total_pj : 0.0;
+  rep.sim_threads = r.final_eval.threads;
+  return rep;
+}
+
+void OnlineReport::print() const {
+  util::Table t("ESAM online-learning report (" + cell + ", " +
+                dataset_source + ")");
+  t.header({"metric", "value"});
+  t.row({"samples / epochs", util::fmt("%zu / %zu", inferences, epochs)});
+  t.row({"input drift", util::fmt("%.0f %% of positions permuted",
+                                  100.0 * drift_fraction)});
+  t.row({"accuracy (deployed, clean)",
+         util::fmt("%.2f %%", 100.0 * accuracy_clean)});
+  t.row({"accuracy (after drift)",
+         util::fmt("%.2f %%", 100.0 * accuracy_drifted)});
+  for (std::size_t e = 0; e < epoch_eval_accuracy.size(); ++e) {
+    t.row({util::fmt("accuracy after epoch %zu", e + 1),
+           util::fmt("%.2f %% (online %.2f %%)",
+                     100.0 * epoch_eval_accuracy[e],
+                     100.0 * epoch_online_accuracy[e])});
+  }
+  t.row({"column updates",
+         util::fmt("%llu", static_cast<unsigned long long>(column_updates))});
+  t.row({"learning time", util::fmt("%.2f us", learning_time_us)});
+  t.row({"learning energy", util::fmt("%.1f pJ", learning_energy_pj)});
+  t.row({"energy / inference (incl. learning)",
+         util::fmt("%.0f pJ", energy_per_inf_pj)});
+  t.row({"learning share of energy",
+         util::fmt("%.1f %%", 100.0 * learning_energy_share)});
+  t.row({"simulator", util::fmt("%zu eval threads", sim_threads)});
+  t.print();
 }
 
 void SystemReport::print() const {

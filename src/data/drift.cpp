@@ -1,0 +1,54 @@
+#include "esam/data/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "esam/util/rng.hpp"
+
+namespace esam::data {
+
+DriftGenerator::DriftGenerator(std::size_t width, double fraction,
+                               std::uint64_t seed) {
+  if (width == 0) {
+    throw std::invalid_argument("DriftGenerator: width must be > 0");
+  }
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  perm_.resize(width);
+  for (std::size_t i = 0; i < width; ++i) perm_[i] = i;
+
+  const auto k = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(width)));
+  if (k < 2) return;  // a 0- or 1-cycle moves nothing
+
+  // Pick the drifting positions with a seeded shuffle, then route them
+  // through one k-cycle so every picked position is guaranteed to move.
+  util::Rng rng(seed);
+  std::vector<std::size_t> picked(width);
+  for (std::size_t i = 0; i < width; ++i) picked[i] = i;
+  rng.shuffle(picked);
+  picked.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    perm_[picked[i]] = picked[(i + 1) % k];
+  }
+  moved_ = k;
+}
+
+util::BitVec DriftGenerator::apply(const util::BitVec& input) const {
+  if (input.size() != perm_.size()) {
+    throw std::invalid_argument("DriftGenerator::apply: width mismatch");
+  }
+  util::BitVec out(perm_.size());
+  input.for_each_set([&](std::size_t i) { out.set(perm_[i]); });
+  return out;
+}
+
+std::vector<util::BitVec> DriftGenerator::apply_all(
+    const std::vector<util::BitVec>& inputs) const {
+  std::vector<util::BitVec> out;
+  out.reserve(inputs.size());
+  for (const auto& v : inputs) out.push_back(apply(v));
+  return out;
+}
+
+}  // namespace esam::data

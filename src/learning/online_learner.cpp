@@ -30,16 +30,15 @@ void OnlineLearner::update_column(std::size_t j,
   const std::size_t local_col = j % cfg.max_array_dim;
 
   Time worst_time{};
+  std::ptrdiff_t flipped_to_one = 0;
   for (std::size_t rg = 0; rg < tile_->row_groups(); ++rg) {
     sram::SramMacro& m = tile_->macro(rg, cg);
     const std::size_t rows = m.geometry().rows;
     const std::size_t row0 = rg * cfg.max_array_dim;
 
-    // Pre-synaptic slice of this row-group.
-    util::BitVec pre(rows);
-    for (std::size_t r = 0; r < rows; ++r) {
-      pre.set(r, pre_spikes.test(row0 + r));
-    }
+    // Pre-synaptic slice of this row-group (word-packed; this is a per-
+    // update hot path once the system trainer drives it).
+    const util::BitVec pre = pre_spikes.slice(row0, rows);
 
     // Column read-modify-write through the RW port (energy posted by the
     // macro; time from the timing model, parallel across row-groups).
@@ -48,10 +47,24 @@ void OnlineLearner::update_column(std::size_t j,
         causal ? rule_.potentiate(old_weights, pre)
                : rule_.depress(old_weights, pre);
     m.write_column(local_col, updated);
+    // Measure what the array actually stores, not what we asked for:
+    // stuck-at cells silently ignore writes, and the offset must track the
+    // *observable* column sum. Pristine arrays store exactly `updated`, so
+    // only faulty macros pay the per-bit verification rescan.
+    const std::size_t stored_ones = m.has_faults()
+                                        ? m.peek_column(local_col).count()
+                                        : updated.count();
+    flipped_to_one += static_cast<std::ptrdiff_t>(stored_ones) -
+                      static_cast<std::ptrdiff_t>(old_weights.count());
 
     const sram::OpProfile cost = m.column_update_cost();
     worst_time = std::max(worst_time, cost.time);
     stats_.energy += cost.energy;
+  }
+  // Keep the readout consistent: every 0->1 flip moves the column sum S_j
+  // by +2, i.e. the stored offset (S_j - b_j)/2 by +1.
+  if (flipped_to_one != 0) {
+    tile_->adjust_readout_offset(j, static_cast<float>(flipped_to_one));
   }
   stats_.time += worst_time;
   ++stats_.column_updates;

@@ -1,0 +1,84 @@
+#include "esam/learning/online_trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "esam/util/rng.hpp"
+
+namespace esam::learning {
+
+std::uint64_t derive_learner_seed(std::uint64_t base_seed,
+                                  std::size_t tile_index) {
+  return base_seed ^ util::splitmix64_mix(tile_index);
+}
+
+OnlineTrainer::OnlineTrainer(std::vector<arch::Tile>& tiles, TrainerConfig cfg)
+    : tiles_(&tiles), cfg_(cfg) {
+  if (tiles.empty()) {
+    throw std::invalid_argument("OnlineTrainer: no tiles");
+  }
+  if (!tiles.back().config().is_output_layer) {
+    throw std::invalid_argument(
+        "OnlineTrainer: last tile must be an output layer (Vmem readout)");
+  }
+  learners_.reserve(tiles.size());
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    StdpConfig per_tile = cfg.stdp;
+    per_tile.seed = derive_learner_seed(cfg.stdp.seed, t);
+    learners_.emplace_back(tiles[t], per_tile);
+  }
+}
+
+void OnlineTrainer::forward(const util::BitVec& input) {
+  std::vector<arch::Tile>& tiles = *tiles_;
+  util::BitVec spikes = input;
+  for (std::size_t l = 0; l + 1 < tiles.size(); ++l) {
+    tiles[l].start_inference(spikes);
+    while (tiles[l].busy()) tiles[l].step();
+    spikes = tiles[l].take_output();
+  }
+  last_tile_input_ = std::move(spikes);
+  arch::Tile& out = tiles.back();
+  out.start_inference(last_tile_input_);
+  while (out.busy()) out.step();
+}
+
+std::size_t OnlineTrainer::classify(const util::BitVec& input) {
+  forward(input);
+  arch::Tile& out = tiles_->back();
+  const std::vector<float> scores = out.output_scores();
+  out.consume_output();
+  return static_cast<std::size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+std::size_t OnlineTrainer::train_sample(const util::BitVec& input,
+                                        std::size_t label) {
+  if (label >= tiles_->back().config().outputs) {
+    throw std::out_of_range("OnlineTrainer::train_sample: label out of range");
+  }
+  const std::size_t winner = classify(input);
+  if (winner == label && !cfg_.update_on_correct) return winner;
+  OnlineLearner& teacher = learners_.back();
+  teacher.reward(label, last_tile_input_);
+  if (cfg_.punish_wrong_winner && winner != label) {
+    teacher.punish(winner, last_tile_input_);
+  }
+  return winner;
+}
+
+LearningStats OnlineTrainer::stats() const {
+  LearningStats total;
+  for (const OnlineLearner& l : learners_) {
+    total.column_updates += l.stats().column_updates;
+    total.time += l.stats().time;
+    total.energy += l.stats().energy;
+  }
+  return total;
+}
+
+void OnlineTrainer::reset_stats() {
+  for (OnlineLearner& l : learners_) l.reset_stats();
+}
+
+}  // namespace esam::learning

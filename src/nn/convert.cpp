@@ -32,6 +32,36 @@ SnnNetwork SnnNetwork::from_bnn(const BnnNetwork& bnn) {
   return snn;
 }
 
+SnnNetwork SnnNetwork::from_layers(std::vector<SnnLayer> layers) {
+  if (layers.empty()) {
+    throw std::invalid_argument("SnnNetwork::from_layers: no layers");
+  }
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const SnnLayer& layer = layers[l];
+    const std::size_t n_out = layer.out_features();
+    if (n_out == 0 || layer.in_features() == 0) {
+      throw std::invalid_argument("SnnNetwork::from_layers: empty layer");
+    }
+    if (layer.readout_offsets.size() != n_out) {
+      throw std::invalid_argument(
+          "SnnNetwork::from_layers: readout_offsets size mismatch");
+    }
+    for (const BitVec& row : layer.weight_rows) {
+      if (row.size() != n_out) {
+        throw std::invalid_argument(
+            "SnnNetwork::from_layers: weight row width mismatch");
+      }
+    }
+    if (l > 0 && layer.in_features() != layers[l - 1].out_features()) {
+      throw std::invalid_argument(
+          "SnnNetwork::from_layers: consecutive layers do not chain");
+    }
+  }
+  SnnNetwork snn;
+  snn.layers_ = std::move(layers);
+  return snn;
+}
+
 std::vector<std::size_t> SnnNetwork::shape() const {
   std::vector<std::size_t> s;
   if (layers_.empty()) return s;

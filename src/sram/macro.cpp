@@ -24,6 +24,19 @@ bool SramMacro::peek(std::size_t row, std::size_t col) const {
   return observed_row(row).test(col);
 }
 
+BitVec SramMacro::peek_column(std::size_t col) const {
+  check_col(col);
+  BitVec out(geometry().rows);
+  for (std::size_t r = 0; r < geometry().rows; ++r) {
+    bool v = bits_[r].test(col);
+    if (!stuck0_.empty()) {
+      v = (v && !stuck0_[r].test(col)) || stuck1_[r].test(col);
+    }
+    out.set(r, v);
+  }
+  return out;
+}
+
 BitVec SramMacro::observed_row(std::size_t row) const {
   if (stuck0_.empty()) return bits_[row];
   return (bits_[row] & ~stuck0_[row]) | stuck1_[row];

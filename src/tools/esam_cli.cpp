@@ -16,6 +16,11 @@
 //   --threads N         simulator worker threads (0 = all cores, default 1)
 //   --batch N           inferences per pipeline batch (0 = whole stream as
 //                       one batch; defaults to 32 when --threads is given)
+//   --learn             report mode: drift the inputs and adapt the output
+//                       layer in the field (online-learning report)
+//   --epochs N          train/eval rounds for --learn (default 2)
+//   --drift F           fraction of input positions permuted by the drift,
+//                       in [0, 1] (default 0.25)
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -26,6 +31,7 @@
 #include "esam/core/esam.hpp"
 #include "esam/learning/online_learner.hpp"
 #include "esam/sram/timing.hpp"
+#include "esam/util/parse.hpp"
 #include "esam/util/table.hpp"
 
 using namespace esam;
@@ -40,6 +46,9 @@ struct CliOptions {
   bool low_power = false;
   std::size_t threads = 1;
   std::size_t batch = 0;
+  bool learn = false;
+  std::size_t epochs = 2;
+  double drift = 0.25;
 
   /// True when any batched-engine option was given.
   [[nodiscard]] bool batched() const { return threads != 1 || batch != 0; }
@@ -64,7 +73,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: esam <info|report|sweep-cells|sweep-vprech|learn> "
                "[--cell NAME] [--vprech MV] [--inferences N] "
-               "[--trace FILE.vcd] [--low-power] [--threads N] [--batch N]\n");
+               "[--trace FILE.vcd] [--low-power] [--threads N] [--batch N] "
+               "[--learn] [--epochs N] [--drift F]\n"
+               "numeric flags take plain non-negative numbers "
+               "(e.g. --threads 4, --drift 0.25)\n");
   return 2;
 }
 
@@ -73,7 +85,38 @@ std::optional<CliOptions> parse_options(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto need_value = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "esam: %s expects a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    // Strict numeric parsing: reject signs, garbage and overflow instead of
+    // the atoll-style silent wrap ("--threads -1" used to become SIZE_MAX).
+    auto need_size = [&](std::size_t& out) -> bool {
+      const char* v = need_value();
+      if (v == nullptr) return false;
+      const auto parsed = util::parse_size(v);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "esam: %s expects a non-negative integer, got '%s'\n",
+                     arg.c_str(), v);
+        return false;
+      }
+      out = *parsed;
+      return true;
+    };
+    auto need_double = [&](double& out, double lo, double hi) -> bool {
+      const char* v = need_value();
+      if (v == nullptr) return false;
+      const auto parsed = util::parse_double(v);
+      if (!parsed || *parsed < lo || *parsed > hi) {
+        std::fprintf(stderr, "esam: %s expects a number in [%g, %g], got '%s'\n",
+                     arg.c_str(), lo, hi, v);
+        return false;
+      }
+      out = *parsed;
+      return true;
     };
     if (arg == "--cell") {
       const char* v = need_value();
@@ -85,13 +128,9 @@ std::optional<CliOptions> parse_options(int argc, char** argv, int first) {
       }
       opt.cell = *cell;
     } else if (arg == "--vprech") {
-      const char* v = need_value();
-      if (v == nullptr) return std::nullopt;
-      opt.vprech_mv = std::atof(v);
+      if (!need_double(opt.vprech_mv, 1.0, 10000.0)) return std::nullopt;
     } else if (arg == "--inferences") {
-      const char* v = need_value();
-      if (v == nullptr) return std::nullopt;
-      opt.inferences = static_cast<std::size_t>(std::atoll(v));
+      if (!need_size(opt.inferences)) return std::nullopt;
     } else if (arg == "--trace") {
       const char* v = need_value();
       if (v == nullptr) return std::nullopt;
@@ -99,13 +138,19 @@ std::optional<CliOptions> parse_options(int argc, char** argv, int first) {
     } else if (arg == "--low-power") {
       opt.low_power = true;
     } else if (arg == "--threads") {
-      const char* v = need_value();
-      if (v == nullptr) return std::nullopt;
-      opt.threads = static_cast<std::size_t>(std::atoll(v));
+      if (!need_size(opt.threads)) return std::nullopt;
     } else if (arg == "--batch") {
-      const char* v = need_value();
-      if (v == nullptr) return std::nullopt;
-      opt.batch = static_cast<std::size_t>(std::atoll(v));
+      if (!need_size(opt.batch)) return std::nullopt;
+    } else if (arg == "--learn") {
+      opt.learn = true;
+    } else if (arg == "--epochs") {
+      if (!need_size(opt.epochs)) return std::nullopt;
+      if (opt.epochs == 0) {
+        std::fprintf(stderr, "esam: --epochs must be >= 1\n");
+        return std::nullopt;
+      }
+    } else if (arg == "--drift") {
+      if (!need_double(opt.drift, 0.0, 1.0)) return std::nullopt;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return std::nullopt;
@@ -154,7 +199,35 @@ core::TrainedModel load_model() {
   return core::TrainedModel::create(mc);
 }
 
+/// `report --learn`: the online-learning scenario at system scale -- drift
+/// the test inputs, adapt the output layer in the field, report accuracy
+/// recovery and the hardware cost of the column updates.
+int cmd_learn_online(const CliOptions& opt) {
+  if (!opt.trace_path.empty()) {
+    std::fprintf(stderr,
+                 "esam: --trace is not supported in --learn mode (train and "
+                 "eval phases have no single cycle order); ignoring it\n");
+  }
+  const core::TrainedModel model = load_model();
+  const tech::TechnologyParams& node =
+      opt.low_power ? tech::imec3nm_low_power() : tech::imec3nm();
+  arch::SystemConfig hw;
+  hw.cell = opt.cell;
+  hw.vprech = opt.low_power ? node.vprech_nominal
+                            : util::millivolts(opt.vprech_mv);
+  hw.clock_derate = opt.low_power ? 2.5 : 1.0;
+  core::EsamSystem system(model, hw, node);
+  core::OnlineOptions oo;
+  oo.max_inferences = opt.inferences;
+  oo.epochs = opt.epochs;
+  oo.drift_fraction = opt.drift;
+  oo.run = opt.run_config();
+  system.learn_online(oo).print();
+  return 0;
+}
+
 int cmd_report(const CliOptions& opt) {
+  if (opt.learn) return cmd_learn_online(opt);
   const core::TrainedModel model = load_model();
   const tech::TechnologyParams& node =
       opt.low_power ? tech::imec3nm_low_power() : tech::imec3nm();

@@ -80,6 +80,26 @@ std::size_t BitVec::and_count(const BitVec& o) const {
   return n;
 }
 
+BitVec BitVec::slice(std::size_t offset, std::size_t len) const {
+  if (offset > size_ || len > size_ - offset) {
+    throw std::out_of_range("BitVec::slice: [" + std::to_string(offset) +
+                            ", " + std::to_string(offset + len) +
+                            ") out of range for size " + std::to_string(size_));
+  }
+  BitVec out(len);
+  const std::size_t word0 = offset >> 6;
+  const unsigned shift = offset & 63;
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    std::uint64_t w = words_[word0 + i] >> shift;
+    if (shift != 0 && word0 + i + 1 < words_.size()) {
+      w |= words_[word0 + i + 1] << (64 - shift);
+    }
+    out.words_[i] = w;
+  }
+  out.trim();
+  return out;
+}
+
 BitVec& BitVec::andnot_assign(const BitVec& o) {
   check_same_size(o);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];

@@ -11,6 +11,7 @@ std::string_view to_string(EnergyCategory c) {
     case EnergyCategory::kNeuron: return "neuron";
     case EnergyCategory::kFabric: return "fabric";
     case EnergyCategory::kClock: return "clock";
+    case EnergyCategory::kLearning: return "learning";
     case EnergyCategory::kLeakage: return "leakage";
     case EnergyCategory::kCount: break;
   }

@@ -171,5 +171,46 @@ TEST(BitVecProperty, WordKernelsMatchNaiveDefinitions) {
   }
 }
 
+TEST(BitVec, SliceBasics) {
+  BitVec v = BitVec::from_string("0110100011");
+  EXPECT_EQ(v.slice(0, 10), v);
+  EXPECT_EQ(v.slice(1, 4).to_string(), "1101");
+  EXPECT_EQ(v.slice(8, 2).to_string(), "11");
+  EXPECT_EQ(v.slice(4, 0).size(), 0u);
+  EXPECT_EQ(v.slice(10, 0).size(), 0u);
+}
+
+TEST(BitVec, SliceThrowsOutOfRange) {
+  const BitVec v(64);
+  EXPECT_THROW((void)v.slice(0, 65), std::out_of_range);
+  EXPECT_THROW((void)v.slice(65, 0), std::out_of_range);
+  EXPECT_THROW((void)v.slice(60, 5), std::out_of_range);
+}
+
+TEST(BitVecProperty, SliceMatchesNaivePerBitCopy) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t size = 1 + rng.uniform_index(300);
+    BitVec v(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng.bernoulli(0.4)) v.set(i);
+    }
+    const std::size_t offset = rng.uniform_index(size + 1);
+    const std::size_t len = rng.uniform_index(size - offset + 1);
+    const BitVec s = v.slice(offset, len);
+    ASSERT_EQ(s.size(), len);
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(s.test(i), v.test(offset + i))
+          << "size " << size << " offset " << offset << " bit " << i;
+    }
+    // The word invariant must hold (bits beyond `len` zeroed).
+    EXPECT_EQ(s.count(), [&] {
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < len; ++i) n += v.test(offset + i);
+      return n;
+    }());
+  }
+}
+
 }  // namespace
 }  // namespace esam::util

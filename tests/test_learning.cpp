@@ -103,6 +103,29 @@ TEST(OnlineLearner, RewardPotentiatesTargetColumn) {
   EXPECT_FALSE(tile.macro(0, 0).peek(4, 5));
   EXPECT_FALSE(tile.macro(0, 0).peek(3, 6));
   EXPECT_EQ(learner.stats().column_updates, 1u);
+  // Two 0->1 flips move the column sum by +4, the readout offset by +2.
+  EXPECT_FLOAT_EQ(tile.readout_offset(5), 2.0f);
+  EXPECT_FLOAT_EQ(tile.readout_offset(6), 0.0f);
+}
+
+TEST(OnlineLearner, OffsetTracksFaultMaskedWritesNotIntendedOnes) {
+  arch::Tile tile = make_tile(sram::CellKind::k1RW4R);
+  tile.load_layer(zero_layer(128, 16));
+  // Cell (3, 5) is stuck at 0: the potentiation write to it is lost, so the
+  // observable column sum -- and hence the readout offset -- must only move
+  // by the one flip that actually stuck.
+  sram::FaultMap map(128, 16);
+  map.stuck_at_zero.set(3 * 16 + 5);
+  tile.macro(0, 0).apply_faults(map);
+
+  OnlineLearner learner(tile, {.p_potentiation = 1.0, .p_depression = 0.0});
+  BitVec pre(128);
+  pre.set(3);
+  pre.set(77);
+  learner.reward(5, pre);
+  EXPECT_FALSE(tile.macro(0, 0).peek(3, 5));  // write silently lost
+  EXPECT_TRUE(tile.macro(0, 0).peek(77, 5));
+  EXPECT_FLOAT_EQ(tile.readout_offset(5), 1.0f);
 }
 
 TEST(OnlineLearner, PunishClearsSpikingSynapses) {
@@ -177,6 +200,37 @@ TEST(OnlineLearner, TransposableCellLearnsFasterThanBaseline) {
                 slow_tile.macro(0, 0).peek(r, j));
     }
   }
+}
+
+TEST(OnlineLearner, UnalignedRowGroupSlicesUpdateCorrectly) {
+  // max_array_dim 48 puts row-group boundaries off the 64-bit word grid, so
+  // the word-packed BitVec::slice in update_column must funnel-shift.
+  arch::TileConfig cfg;
+  cfg.inputs = 96;
+  cfg.outputs = 8;
+  cfg.cell = sram::CellKind::k1RW4R;
+  cfg.max_array_dim = 48;
+  arch::Tile tile(tech::imec3nm(), cfg);
+  tile.load_layer(zero_layer(96, 8));
+  OnlineLearner learner(tile, {.p_potentiation = 1.0, .p_depression = 0.0});
+  BitVec pre(96);
+  pre.set(47);  // last row of row-group 0
+  pre.set(48);  // first row of row-group 1
+  pre.set(95);  // last row of row-group 1
+  learner.reward(2, pre);
+  EXPECT_TRUE(tile.macro(0, 0).peek(47, 2));
+  EXPECT_TRUE(tile.macro(1, 0).peek(0, 2));
+  EXPECT_TRUE(tile.macro(1, 0).peek(47, 2));
+  EXPECT_FALSE(tile.macro(0, 0).peek(0, 2));
+  EXPECT_FALSE(tile.macro(1, 0).peek(1, 2));
+}
+
+TEST(OnlineLearner, ExposesItsStdpConfig) {
+  arch::Tile tile = make_tile(sram::CellKind::k1RW4R);
+  tile.load_layer(zero_layer(128, 16));
+  OnlineLearner learner(tile, {.p_potentiation = 0.25, .seed = 77});
+  EXPECT_DOUBLE_EQ(learner.config().p_potentiation, 0.25);
+  EXPECT_EQ(learner.config().seed, 77u);
 }
 
 TEST(OnlineLearner, StatsResetWorks) {

@@ -1,0 +1,311 @@
+// Tests for the system-level online-training engine: OnlineTrainer seed
+// derivation and determinism, data::DriftGenerator, and
+// SystemSimulator::run_online (accuracy recovery, learning energy in the
+// ledger, bit-identical eval phases across thread counts).
+#include <gtest/gtest.h>
+
+#include "esam/arch/system.hpp"
+#include "esam/data/drift.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::arch {
+namespace {
+
+using util::BitVec;
+
+constexpr std::size_t kIn = 64;
+constexpr std::size_t kHidden = 32;
+constexpr std::size_t kClasses = 8;
+
+/// Fixed random hidden layer + empty output layer: the online-learning
+/// deployment scenario (the output layer is what the teacher fills in).
+nn::SnnNetwork deploy_network(std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::SnnLayer hidden;
+  hidden.weight_rows.assign(kIn, BitVec(kHidden));
+  for (auto& row : hidden.weight_rows) {
+    for (std::size_t j = 0; j < kHidden; ++j) {
+      if (rng.bernoulli(0.5)) row.set(j);
+    }
+  }
+  hidden.thresholds.assign(kHidden, 2);
+  hidden.readout_offsets.assign(kHidden, 0.0f);
+
+  nn::SnnLayer output;
+  output.weight_rows.assign(kHidden, BitVec(kClasses));
+  output.thresholds.assign(kClasses, 0);
+  output.readout_offsets.assign(kClasses, 0.0f);
+  return nn::SnnNetwork::from_layers({std::move(hidden), std::move(output)});
+}
+
+/// Labelled noisy prototype samples.
+void make_samples(std::size_t count, std::uint64_t seed,
+                  std::vector<BitVec>& inputs,
+                  std::vector<std::uint8_t>& labels) {
+  util::Rng rng(seed);
+  std::vector<BitVec> protos;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    BitVec p(kIn);
+    for (std::size_t i = 0; i < kIn; ++i) {
+      if (rng.bernoulli(0.3)) p.set(i);
+    }
+    protos.push_back(std::move(p));
+  }
+  inputs.clear();
+  labels.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto cls = static_cast<std::size_t>(rng.uniform_index(kClasses));
+    BitVec s = protos[cls];
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      if (rng.bernoulli(0.03)) s.set(k, !s.test(k));
+    }
+    inputs.push_back(std::move(s));
+    labels.push_back(static_cast<std::uint8_t>(cls));
+  }
+}
+
+OnlineTrainConfig train_config(std::size_t epochs, std::size_t eval_threads) {
+  OnlineTrainConfig cfg;
+  cfg.epochs = epochs;
+  // From-scratch operating point: strong rates + reinforce correct
+  // predictions (the empty output columns need the margin).
+  cfg.trainer.stdp = {.p_potentiation = 0.35, .p_depression = 0.12,
+                      .seed = 99};
+  cfg.trainer.update_on_correct = true;
+  cfg.eval = {.num_threads = eval_threads, .batch_size = 16};
+  return cfg;
+}
+
+// --- seed derivation / determinism contract --------------------------------
+
+TEST(OnlineTrainer, DerivedSeedsAreDistinctPerTile) {
+  const std::uint64_t base = 1234;  // the shared StdpConfig default
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t t = 0; t < 16; ++t) {
+    seeds.push_back(learning::derive_learner_seed(base, t));
+    for (std::size_t u = 0; u < t; ++u) {
+      EXPECT_NE(seeds[t], seeds[u]) << "tiles " << t << " and " << u;
+    }
+  }
+}
+
+TEST(OnlineTrainer, LearnersUseDerivedSeeds) {
+  std::vector<Tile> tiles;
+  TileConfig hidden;
+  hidden.inputs = kIn;
+  hidden.outputs = kHidden;
+  TileConfig out;
+  out.inputs = kHidden;
+  out.outputs = kClasses;
+  out.is_output_layer = true;
+  tiles.emplace_back(tech::imec3nm(), hidden);
+  tiles.emplace_back(tech::imec3nm(), out);
+
+  learning::TrainerConfig cfg;  // default StdpConfig: the shared seed 1234
+  learning::OnlineTrainer trainer(tiles, cfg);
+  ASSERT_EQ(trainer.tile_count(), 2u);
+  for (std::size_t t = 0; t < trainer.tile_count(); ++t) {
+    EXPECT_EQ(trainer.learner(t).config().seed,
+              learning::derive_learner_seed(cfg.stdp.seed, t));
+  }
+  // The derived seeds must not collapse back onto the shared default.
+  EXPECT_NE(trainer.learner(0).config().seed,
+            trainer.learner(1).config().seed);
+}
+
+TEST(OnlineTrainer, RejectsPipelineWithoutOutputLayer) {
+  std::vector<Tile> tiles;
+  TileConfig cfg;
+  cfg.inputs = kIn;
+  cfg.outputs = kClasses;
+  tiles.emplace_back(tech::imec3nm(), cfg);  // hidden tile only
+  EXPECT_THROW(learning::OnlineTrainer(tiles, {}), std::invalid_argument);
+  std::vector<Tile> empty;
+  EXPECT_THROW(learning::OnlineTrainer(empty, {}), std::invalid_argument);
+}
+
+TEST(OnlineTrainer, SameSeedSameTrajectory) {
+  // The documented contract: same base seed + same sample order -> bit-
+  // identical weights; a different base seed diverges.
+  std::vector<BitVec> inputs;
+  std::vector<std::uint8_t> labels;
+  make_samples(40, 11, inputs, labels);
+
+  auto run = [&](std::uint64_t seed) {
+    SystemSimulator sim(tech::imec3nm(), deploy_network(3), {});
+    OnlineTrainConfig cfg = train_config(1, 1);
+    cfg.trainer.stdp.seed = seed;
+    (void)sim.run_online(inputs, labels, cfg);
+    std::string bits;
+    for (std::size_t r = 0; r < kHidden; ++r) {
+      for (std::size_t c = 0; c < kClasses; ++c) {
+        bits += sim.tile(1).macro(0, 0).peek(r, c) ? '1' : '0';
+      }
+    }
+    return bits;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+// --- DriftGenerator --------------------------------------------------------
+
+TEST(DriftGenerator, IsAPermutationAndPreservesCounts) {
+  const data::DriftGenerator drift(96, 0.5, 5);
+  std::vector<bool> hit(96, false);
+  for (const std::size_t p : drift.permutation()) {
+    ASSERT_LT(p, 96u);
+    EXPECT_FALSE(hit[p]);
+    hit[p] = true;
+  }
+  util::Rng rng(6);
+  BitVec v(96);
+  for (std::size_t i = 0; i < 96; ++i) {
+    if (rng.bernoulli(0.3)) v.set(i);
+  }
+  const BitVec d = drift.apply(v);
+  EXPECT_EQ(d.count(), v.count());
+}
+
+TEST(DriftGenerator, MovesTheRequestedFraction) {
+  const data::DriftGenerator half(100, 0.5, 1);
+  EXPECT_EQ(half.moved_count(), 50u);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (half.permutation()[i] != i) ++moved;
+  }
+  EXPECT_EQ(moved, 50u);
+
+  const data::DriftGenerator none(100, 0.0, 1);
+  EXPECT_EQ(none.moved_count(), 0u);
+  BitVec v(100);
+  v.set(3);
+  v.set(97);
+  EXPECT_EQ(none.apply(v), v);
+}
+
+TEST(DriftGenerator, DeterministicPerSeed) {
+  const data::DriftGenerator a(64, 0.4, 9);
+  const data::DriftGenerator b(64, 0.4, 9);
+  const data::DriftGenerator c(64, 0.4, 10);
+  EXPECT_EQ(a.permutation(), b.permutation());
+  EXPECT_NE(a.permutation(), c.permutation());
+}
+
+TEST(DriftGenerator, Validation) {
+  EXPECT_THROW(data::DriftGenerator(0, 0.5, 1), std::invalid_argument);
+  const data::DriftGenerator drift(32, 0.5, 1);
+  EXPECT_THROW((void)drift.apply(BitVec(31)), std::invalid_argument);
+}
+
+// --- run_online ------------------------------------------------------------
+
+TEST(RunOnline, RecoversAccuracyAfterDriftOnMultiTileNetwork) {
+  SystemSimulator sim(tech::imec3nm(), deploy_network(3), {});
+  ASSERT_EQ(sim.tile_count(), 2u);
+
+  std::vector<BitVec> inputs;
+  std::vector<std::uint8_t> labels;
+  make_samples(160, 11, inputs, labels);
+
+  // Learn the task from scratch, then drift and recover.
+  const OnlineRunResult learned =
+      sim.run_online(inputs, labels, train_config(2, 1));
+  EXPECT_GT(learned.final_eval.accuracy, 0.7);
+
+  const data::DriftGenerator drift(kIn, 0.5, 7);
+  const std::vector<BitVec> drifted = drift.apply_all(inputs);
+  const OnlineRunResult recovered =
+      sim.run_online(drifted, labels, train_config(2, 1));
+  // The drift must hurt, and training must win most of it back.
+  EXPECT_LT(recovered.initial_accuracy, learned.final_eval.accuracy - 0.15);
+  EXPECT_GT(recovered.final_eval.accuracy, recovered.initial_accuracy + 0.2);
+  EXPECT_GT(recovered.final_eval.accuracy, 0.6);
+
+  // Curve shape: one entry per epoch, learning stats populated.
+  ASSERT_EQ(recovered.epochs.size(), 2u);
+  EXPECT_GT(recovered.learning.column_updates, 0u);
+  EXPECT_EQ(recovered.learning.column_updates,
+            recovered.epochs[0].learning.column_updates +
+                recovered.epochs[1].learning.column_updates);
+}
+
+TEST(RunOnline, LearningEnergyLandsInTheLedger) {
+  SystemSimulator sim(tech::imec3nm(), deploy_network(3), {});
+  std::vector<BitVec> inputs;
+  std::vector<std::uint8_t> labels;
+  make_samples(50, 12, inputs, labels);
+
+  const OnlineRunResult r = sim.run_online(inputs, labels, train_config(1, 1));
+  const util::Energy learn_e =
+      r.final_eval.ledger.energy(util::EnergyCategory::kLearning);
+  EXPECT_GT(learn_e.base(), 0.0);
+  EXPECT_EQ(learn_e.base(), r.learning.energy.base());
+  // energy_per_inference covers eval + learning: strictly more than the
+  // eval-only ledger would give.
+  const util::Energy eval_only =
+      r.final_eval.ledger.total_energy() - learn_e;
+  EXPECT_GT(r.final_eval.energy_per_inference.base() *
+                static_cast<double>(inputs.size()),
+            eval_only.base());
+  // And the learning wall-clock is part of the elapsed time: the eval phase
+  // alone accounts exactly cycles * clock_period, so dropping the
+  // advance_time(learning.time) fold would fail this.
+  const double eval_s = static_cast<double>(r.final_eval.cycles) *
+                        util::in_seconds(sim.clock_period());
+  EXPECT_GT(util::in_seconds(r.learning.time), 0.0);
+  EXPECT_NEAR(util::in_seconds(r.final_eval.elapsed),
+              eval_s + util::in_seconds(r.learning.time), 1e-12);
+}
+
+TEST(RunOnline, EvalPhasesBitIdenticalAcrossThreadCounts) {
+  std::vector<BitVec> inputs;
+  std::vector<std::uint8_t> labels;
+  make_samples(60, 13, inputs, labels);
+
+  auto run = [&](std::size_t threads) {
+    SystemSimulator sim(tech::imec3nm(), deploy_network(3), {});
+    return sim.run_online(inputs, labels, train_config(2, threads));
+  };
+  const OnlineRunResult one = run(1);
+  for (const std::size_t threads : {4u, 8u}) {
+    const OnlineRunResult many = run(threads);
+    EXPECT_EQ(many.initial_accuracy, one.initial_accuracy);
+    ASSERT_EQ(many.epochs.size(), one.epochs.size());
+    for (std::size_t e = 0; e < one.epochs.size(); ++e) {
+      EXPECT_EQ(many.epochs[e].eval_accuracy, one.epochs[e].eval_accuracy);
+      EXPECT_EQ(many.epochs[e].online_accuracy,
+                one.epochs[e].online_accuracy);
+      EXPECT_EQ(many.epochs[e].learning.column_updates,
+                one.epochs[e].learning.column_updates);
+    }
+    EXPECT_EQ(many.final_eval.predictions, one.final_eval.predictions);
+    EXPECT_EQ(many.final_eval.cycles, one.final_eval.cycles);
+    for (int c = 0; c < static_cast<int>(util::EnergyCategory::kCount); ++c) {
+      const auto cat = static_cast<util::EnergyCategory>(c);
+      EXPECT_EQ(many.final_eval.ledger.energy(cat).base(),
+                one.final_eval.ledger.energy(cat).base())
+          << "category " << util::to_string(cat);
+    }
+  }
+}
+
+TEST(RunOnline, Validation) {
+  SystemSimulator sim(tech::imec3nm(), deploy_network(3), {});
+  std::vector<BitVec> inputs;
+  std::vector<std::uint8_t> labels;
+  make_samples(4, 14, inputs, labels);
+
+  EXPECT_THROW((void)sim.run_online({}, {}, {}), std::invalid_argument);
+  std::vector<std::uint8_t> short_labels(labels.begin(), labels.end() - 1);
+  EXPECT_THROW((void)sim.run_online(inputs, short_labels, {}),
+               std::invalid_argument);
+  std::vector<std::uint8_t> bad_labels = labels;
+  bad_labels[0] = kClasses;  // out of range for the output layer
+  EXPECT_THROW((void)sim.run_online(inputs, bad_labels, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esam::arch

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "esam/arch/system.hpp"
+#include "esam/learning/online_learner.hpp"
 #include "esam/tech/technology.hpp"
 #include "esam/util/rng.hpp"
 
@@ -169,6 +170,38 @@ TEST(Parallel, RejectsBadInputLikeRun) {
   const auto inputs = random_inputs(4, 32, 271);
   std::vector<std::uint8_t> labels(3, 0);
   EXPECT_THROW((void)sim.run_batched(inputs, &labels), std::invalid_argument);
+}
+
+TEST(Parallel, LearnedWeightsVisibleToClonedWorkerPipelines) {
+  // The learning/batched-engine interplay: OnlineLearner mutates the
+  // canonical tiles' SRAM in place, so the deep-cloned worker pipelines of
+  // the next run_batched must see the new weights, and run()/run_batched()
+  // must agree on the post-learning predictions.
+  const nn::SnnNetwork snn = random_snn({64, 32, 6}, 290);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(48, 64, 291);
+  const RunConfig cfg{.num_threads = 4, .batch_size = 8};
+  const RunResult before = sim.run_batched(inputs, nullptr, cfg);
+
+  // Deterministically rewrite the output tile's weight columns: column j
+  // becomes exactly the per-column spike pattern (p_pot = p_dep = 1).
+  learning::OnlineLearner learner(
+      sim.tile(1), {.p_potentiation = 1.0, .p_depression = 1.0, .seed = 3});
+  for (std::size_t j = 0; j < 6; ++j) {
+    util::BitVec pre(32);
+    for (std::size_t i = j; i < 32; i += j + 2) pre.set(i);
+    learner.reward(j, pre);
+  }
+
+  const RunResult stream = sim.run(inputs);
+  const RunResult batched = sim.run_batched(inputs, nullptr, cfg);
+  EXPECT_EQ(stream.predictions, batched.predictions);
+  EXPECT_NE(batched.predictions, before.predictions);  // weights did change
+  for (const std::size_t threads : {1u, 8u}) {
+    const RunResult again = sim.run_batched(
+        inputs, nullptr, {.num_threads = threads, .batch_size = 8});
+    expect_identical(batched, again);
+  }
 }
 
 TEST(Parallel, TileDeepCopyIsIndependent) {

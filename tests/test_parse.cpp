@@ -1,0 +1,64 @@
+// Tests for the strict CLI numeric parsers: everything std::atoll would
+// silently mangle must be rejected (the esam CLI relies on this so
+// "--threads -1" errors instead of wrapping to SIZE_MAX).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "esam/util/parse.hpp"
+
+namespace esam::util {
+namespace {
+
+TEST(ParseSize, AcceptsPlainNonNegativeIntegers) {
+  EXPECT_EQ(parse_size("0"), 0u);
+  EXPECT_EQ(parse_size("1"), 1u);
+  EXPECT_EQ(parse_size("4096"), 4096u);
+  EXPECT_EQ(parse_size("007"), 7u);
+}
+
+TEST(ParseSize, RejectsNegativeNumbers) {
+  // The motivating bug: atoll("-1") cast to size_t wraps to SIZE_MAX.
+  EXPECT_FALSE(parse_size("-1").has_value());
+  EXPECT_FALSE(parse_size("-0").has_value());
+  EXPECT_FALSE(parse_size("+3").has_value());
+}
+
+TEST(ParseSize, RejectsGarbageAndPartialNumbers) {
+  EXPECT_FALSE(parse_size("").has_value());
+  EXPECT_FALSE(parse_size("abc").has_value());
+  EXPECT_FALSE(parse_size("12abc").has_value());
+  EXPECT_FALSE(parse_size("1.5").has_value());
+  EXPECT_FALSE(parse_size(" 4").has_value());
+  EXPECT_FALSE(parse_size("4 ").has_value());
+}
+
+TEST(ParseSize, RejectsOverflow) {
+  const std::string max =
+      std::to_string(std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(parse_size(max), std::numeric_limits<std::size_t>::max());
+  EXPECT_FALSE(parse_size(max + "0").has_value());
+}
+
+TEST(ParseDouble, AcceptsDecimalNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25").value(), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("500").value(), 500.0);
+  EXPECT_DOUBLE_EQ(parse_double("-2.5").value(), -2.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e3").value(), 1000.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("0.25x").has_value());
+  EXPECT_FALSE(parse_double("nan").has_value());
+  EXPECT_FALSE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("0x10").has_value());
+  // Overflow to +/-infinity violates the finite contract too.
+  EXPECT_FALSE(parse_double("1e999").has_value());
+  EXPECT_FALSE(parse_double("-1e999").has_value());
+}
+
+}  // namespace
+}  // namespace esam::util
