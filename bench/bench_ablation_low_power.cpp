@@ -14,10 +14,13 @@ using namespace esam;
 int main(int argc, char** argv) {
   bench::print_setup_header("Extension: HVT / low-VDD operating point");
 
+  const bool smoke = bench::smoke_mode(argc, argv);
   const std::size_t inferences =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 400;
+      smoke ? 64
+            : (argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 400);
 
-  core::ModelConfig mc;
+  core::ModelConfig mc = smoke ? bench::smoke_model_config()
+                               : core::ModelConfig{};
   mc.verbose = true;
   const core::TrainedModel model = core::TrainedModel::create(mc);
   std::vector<util::BitVec> inputs(model.data.test.spikes.begin(),

@@ -2,15 +2,41 @@
 // tables and figures. Each binary prints the experimental-setup header
 // (Table 1) followed by its own table(s), with the paper's reported values
 // alongside the model's measurements wherever the paper states a number.
+// Every bench binary accepts a `--smoke` flag (registered as a CTest smoke
+// target): the same code paths on a workload small enough for every CI run,
+// so the perf harnesses are compiled *and exercised* on each commit.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "esam/core/esam.hpp"
 #include "esam/tech/technology.hpp"
 #include "esam/util/table.hpp"
 
 namespace esam::bench {
+
+/// True when `--smoke` appears anywhere on the command line.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+/// Tiny training configuration for the smoke tier: same 768-input synthetic
+/// data and 10 classes, one small hidden layer, a short training run, and
+/// no cache file (a smoke run must never overwrite the full-model cache).
+inline core::ModelConfig smoke_model_config() {
+  core::ModelConfig mc;
+  mc.shape = {768, 32, 10};
+  mc.n_train = 800;
+  mc.n_test = 200;
+  mc.train.epochs = 2;
+  mc.cache_path.clear();
+  return mc;
+}
 
 /// Prints the Table 1 context every experiment shares.
 inline void print_setup_header(const std::string& experiment) {

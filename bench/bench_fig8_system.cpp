@@ -32,10 +32,13 @@ double wall_seconds_of_run(core::EsamSystem& system, std::size_t inferences,
 int main(int argc, char** argv) {
   bench::print_setup_header("Figure 8: system-level comparison of cell options");
 
+  const bool smoke = bench::smoke_mode(argc, argv);
   const std::size_t inferences =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500;
+      smoke ? 48
+            : (argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500);
   std::size_t threads =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 1;
+      smoke ? 2
+            : (argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 1);
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -46,7 +49,8 @@ int main(int argc, char** argv) {
       .num_threads = threads,
       .batch_size = threads != 1 ? arch::RunConfig::kDefaultBatchSize : 0};
 
-  core::ModelConfig mc;
+  core::ModelConfig mc = smoke ? bench::smoke_model_config()
+                               : core::ModelConfig{};
   mc.verbose = true;
   const core::TrainedModel model = core::TrainedModel::create(mc);
   std::printf("dataset: %s (%zu train / %zu test, %.1f%% input spike density)\n",

@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
   bench::print_setup_header("Extension: Monte-Carlo process variation");
 
   const std::size_t samples =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 1000;
+      bench::smoke_mode(argc, argv)
+          ? 100
+          : (argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 1000);
 
   util::Rng rng(3333);
   std::vector<double> read_ns, trans_rd_ns, trans_wr_ns, leak_uw;

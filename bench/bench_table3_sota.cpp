@@ -12,10 +12,13 @@ using namespace esam;
 int main(int argc, char** argv) {
   bench::print_setup_header("Table 3: comparison with prior SNN accelerators");
 
+  const bool smoke = bench::smoke_mode(argc, argv);
   const std::size_t inferences =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500;
+      smoke ? 64
+            : (argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500);
 
-  core::ModelConfig mc;
+  core::ModelConfig mc = smoke ? bench::smoke_model_config()
+                               : core::ModelConfig{};
   mc.verbose = true;
   const core::TrainedModel model = core::TrainedModel::create(mc);
   arch::SystemConfig hw;  // 1RW+4R @ 500 mV (the proposed configuration)

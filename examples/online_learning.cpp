@@ -7,9 +7,13 @@
 // SystemSimulator::run_online -- every update one column read-modify-write
 // through the transposed RW port of the output tile. Then the input wiring
 // drifts (data::DriftGenerator permutes half the input positions), accuracy
-// collapses, and the same teacher recovers it. The demo prints the
-// accuracy-over-time curve and the hardware cost of the updates, against
-// the 6T baseline that must sweep 2 x 128 rows per update.
+// collapses, and the *whole pipeline* recovers it: the recovery phase turns
+// on the unsupervised WTA-STDP hidden rule, so both tiles adapt -- the
+// per-tile update counts show hidden plasticity paying the same in-macro
+// column-RMW cost as the teacher. The demo prints the accuracy-over-time
+// curves, the per-tile update split, the metered train-phase cost and the
+// hardware cost of the updates, against the 6T baseline that must sweep
+// 2 x 128 rows per update.
 //
 //   ./online_learning [--smoke]     (--smoke: tiny workload for CI)
 #include <cstdio>
@@ -88,6 +92,14 @@ void print_curve(const char* phase, const arch::OnlineRunResult& r) {
                 e + 1, 100.0 * r.epochs[e].eval_accuracy,
                 100.0 * r.epochs[e].online_accuracy);
   }
+  for (std::size_t t = 0; t < r.tile_learning.size(); ++t) {
+    std::printf("  tile %zu (%s) updates   : %llu\n", t,
+                t + 1 == r.tile_learning.size() ? "output" : "hidden",
+                static_cast<unsigned long long>(
+                    r.tile_learning[t].column_updates));
+  }
+  std::printf("  train-phase forwards     : %s metered\n",
+              util::to_string(r.train_ledger.total_energy()).c_str());
 }
 
 }  // namespace
@@ -124,12 +136,21 @@ int main(int argc, char** argv) {
   print_curve("learning the task online (output layer starts empty):",
               deploy);
 
-  // Phase 2: the input wiring drifts; the same teacher recovers.
+  // Phase 2: the input wiring drifts; the whole pipeline recovers -- the
+  // hidden tile runs unsupervised WTA-STDP alongside the output teacher, so
+  // the drifted input statistics are re-absorbed layer-locally (gentler
+  // rates than the teacher: unsupervised updates churn structure faster).
+  cfg.trainer.hidden_rule = learning::HiddenRule::kWtaStdp;
+  cfg.trainer.wta_k = 2;
+  cfg.trainer.hidden_stdp = learning::StdpConfig{
+      .p_potentiation = 0.1, .p_depression = 0.025, .seed = 99};
   const data::DriftGenerator drift(kInputs, 0.5, 7);
   const std::vector<util::BitVec> drifted = drift.apply_all(inputs);
   const arch::OnlineRunResult recover = sim.run_online(drifted, labels, cfg);
   std::printf("\n");
-  print_curve("after input drift (half the positions permuted):", recover);
+  print_curve(
+      "after input drift (half the positions permuted; hidden wta-stdp on):",
+      recover);
 
   // Hardware cost of the adaptation, from the final eval's ledger.
   const auto& st = recover.learning;

@@ -80,7 +80,8 @@ struct RunResult {
 struct OnlineTrainConfig {
   /// Train/eval rounds over the sample stream.
   std::size_t epochs = 1;
-  /// Teacher configuration (base STDP seed; per-tile seeds are derived).
+  /// Pipeline-wide learning configuration: base STDP seed (per-tile rule
+  /// seeds are derived), teacher behaviour, hidden-rule selection.
   learning::TrainerConfig trainer{};
   /// Execution config of the interleaved eval phases. Like everywhere else,
   /// num_threads is a simulation-software knob only: eval results are
@@ -95,8 +96,13 @@ struct OnlineEpochStats {
   double online_accuracy = 0.0;
   /// Post-epoch accuracy of the batched eval phase.
   double eval_accuracy = 0.0;
-  /// Column updates applied during this epoch.
+  /// Column updates applied during this epoch (all plastic tiles).
   learning::LearningStats learning;
+  /// Serial training-phase forward passes of this epoch: tile-step cycles
+  /// and their total metered energy (SRAM/arbiter/neuron/fabric dynamic
+  /// energy plus the clock and leakage integrated over those cycles).
+  std::uint64_t train_cycles = 0;
+  Energy train_energy{};
 };
 
 /// Outcome of run_online: the accuracy-over-time curve plus the final eval
@@ -105,11 +111,18 @@ struct OnlineRunResult {
   /// Eval accuracy before any update (e.g. right after input drift).
   double initial_accuracy = 0.0;
   std::vector<OnlineEpochStats> epochs;
-  /// Cumulative column-update stats over all epochs.
+  /// Cumulative column-update stats over all epochs (every plastic tile).
   learning::LearningStats learning;
+  /// Per-tile cumulative column-update stats: hidden rules make hidden
+  /// tiles show up as nonzero rows here, not just the output tile.
+  std::vector<learning::LearningStats> tile_learning;
+  /// Metered training-phase forward-pass ledger (serial passes through the
+  /// canonical tiles; already folded into final_eval.ledger).
+  EnergyLedger train_ledger;
   /// Last eval phase; its ledger carries the cumulative learning energy
-  /// under EnergyCategory::kLearning, and its elapsed time includes the
-  /// learning wall-clock (with leakage integrated over that interval), so
+  /// under EnergyCategory::kLearning plus the training-phase forward cost,
+  /// and its elapsed time includes the training and learning wall-clock
+  /// (with leakage integrated over those intervals), so
   /// energy_per_inference / average_power / throughput report the combined
   /// adapt-and-infer cost.
   RunResult final_eval;
@@ -158,15 +171,34 @@ class SystemSimulator {
                         const RunConfig& run_cfg = {});
 
   /// Online-training engine: per epoch, streams every sample serially
-  /// through the canonical tiles and applies the supervised STDP teacher
+  /// through the canonical tiles and drives the per-tile learning rules
   /// (the updates mutate the SRAM weights in place), then evaluates the
-  /// adapted weights with the deterministic batched engine. Learning is
+  /// adapted weights with the deterministic batched engine. The training
+  /// forward passes are metered (tile energies into a training ledger,
+  /// clock + leakage integrated over the serial cycles). Learning is
   /// serial by construction -- column updates are read-modify-writes into
   /// shared state -- so the whole run, curve included, is bit-identical
   /// across eval thread counts (tests/test_online_trainer.cpp pins this).
+  /// This overload trains and evaluates on the same stream (the rolling
+  /// field scenario).
   OnlineRunResult run_online(const std::vector<BitVec>& inputs,
                              const std::vector<std::uint8_t>& labels,
                              const OnlineTrainConfig& cfg = {});
+
+  /// Held-out variant: trains on `inputs`/`labels` and runs every eval
+  /// phase (initial, per-epoch, final) on the separate `eval_inputs` /
+  /// `eval_labels` stream, so the reported curve measures generalization
+  /// of the adapted weights rather than memorization.
+  OnlineRunResult run_online(const std::vector<BitVec>& inputs,
+                             const std::vector<std::uint8_t>& labels,
+                             const std::vector<BitVec>& eval_inputs,
+                             const std::vector<std::uint8_t>& eval_labels,
+                             const OnlineTrainConfig& cfg);
+
+  /// Reconstructs the network currently held in the SRAM macros (after
+  /// in-field adaptation), one exported layer per tile -- checkpointing /
+  /// weight-diff read-back.
+  [[nodiscard]] nn::SnnNetwork export_network() const;
 
  private:
   /// One per-batch pipeline stream over `tiles` (the core loop shared by
@@ -179,6 +211,9 @@ class SystemSimulator {
   /// Fills the derived metrics (throughput, energy/inf, power) of `result`.
   void finalize_metrics(RunResult& result, std::size_t n,
                         const std::vector<std::uint8_t>* labels) const;
+  /// Clock-tree energy of one pipeline cycle (shared by the batched eval
+  /// engine and the serial training-phase metering).
+  [[nodiscard]] Energy clock_energy_per_cycle() const;
 
   const TechnologyParams* tech_;
   SystemConfig cfg_;

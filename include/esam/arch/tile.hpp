@@ -114,6 +114,33 @@ class Tile {
   /// membrane / rate-coded operation).
   void reset_membranes();
 
+  // --- learning-observer readout ------------------------------------------
+  //
+  // The per-inference pre/post spike pair plus the fire-time membrane
+  // snapshot, exposed by reference so learning rules can observe every
+  // forward pass without per-sample heap churn. All three live in fixed
+  // storage sized at construction and are overwritten by the next inference.
+
+  /// Input spikes of the current/most recent inference.
+  [[nodiscard]] const BitVec& last_input() const { return last_input_; }
+  /// Spikes fired by the most recent inference (valid after the fire phase,
+  /// including after take_output; all-zero on output-layer tiles).
+  [[nodiscard]] const BitVec& last_output() const { return output_spikes_; }
+  /// Membrane potentials captured at the R_empty compare of the most recent
+  /// inference, *before* firing neurons reset -- the WTA ranking signal.
+  [[nodiscard]] const std::vector<std::int32_t>& fire_vmem() const {
+    return fire_vmem_;
+  }
+  /// Read-only neuron access (thresholds for margin-based rankings).
+  [[nodiscard]] const neuron::IfNeuron& neuron(std::size_t j) const {
+    return neurons_.at(j);
+  }
+
+  /// Reconstructs an nn::SnnLayer from the live SRAM macros (fault-masked
+  /// observable weights), current thresholds and readout offsets -- the
+  /// read-back path for checkpointing/diffing weights adapted in the field.
+  [[nodiscard]] nn::SnnLayer export_layer() const;
+
   // --- physical models ----------------------------------------------------
 
   /// The tile's minimum clock period: max(arbiter stage, SRAM read + neuron
@@ -164,6 +191,10 @@ class Tile {
   bool busy_ = false;
   bool output_ready_ = false;
   BitVec output_spikes_;
+  /// Learning-observer state: per-inference input copy and fire-time Vmem
+  /// snapshot (fixed storage, overwritten in place each inference).
+  BitVec last_input_;
+  std::vector<std::int32_t> fire_vmem_;
   /// Reusable per-column-group row buffers + per-neuron ones counters so the
   /// step() hot path performs no allocations.
   std::vector<BitVec> row_scratch_;

@@ -92,8 +92,15 @@ struct OnlineOptions {
   /// output layer is close to optimal, so each miss may only nudge its
   /// columns -- aggressive rates (>~0.2, right for learning from scratch)
   /// demonstrably erase the deployed structure faster than they adapt it.
+  /// `trainer.hidden_rule` / `trainer.wta_k` select the hidden-tile rule
+  /// (hidden plasticity is off by default; the hidden rules reuse these
+  /// gentle rates unless `trainer.hidden_stdp` overrides them).
   learning::TrainerConfig trainer{
       .stdp = {.p_potentiation = 0.05, .p_depression = 0.015, .seed = 99}};
+  /// Fraction of the sample window held out for evaluation (trained on the
+  /// rest), so the reported curve measures generalization. 0 = train and
+  /// evaluate on the same stream (the rolling field scenario).
+  double holdout_fraction = 0.0;
   arch::RunConfig run{};  ///< execution config of the eval phases
 };
 
@@ -105,13 +112,27 @@ struct OnlineReport {
   std::size_t inferences = 0;
   std::size_t epochs = 0;
   double drift_fraction = 0.0;
+  /// Hidden-tile rule name ("none" when only the output teacher runs).
+  std::string hidden_rule;
+  /// Train / eval split sizes (equal to `inferences` each when no holdout).
+  std::size_t train_samples = 0;
+  std::size_t eval_samples = 0;
   double accuracy_clean = 0.0;    ///< deployed weights on clean inputs
   double accuracy_drifted = 0.0;  ///< same weights right after the drift
   std::vector<double> epoch_eval_accuracy;
   std::vector<double> epoch_online_accuracy;
   std::uint64_t column_updates = 0;
+  /// Per-tile column updates (hidden plasticity shows up as its own rows).
+  std::vector<std::uint64_t> tile_column_updates;
   double learning_time_us = 0.0;
   double learning_energy_pj = 0.0;
+  /// Metered serial training-phase forward passes (inference cost of the
+  /// adapt phase, beyond the column updates themselves).
+  std::uint64_t train_cycles = 0;
+  double train_energy_pj = 0.0;
+  /// Weight bits that differ from the deployed baseline after adaptation
+  /// (Tile::export_layer read-back vs the loaded model).
+  std::uint64_t weight_bits_changed = 0;
   /// Final eval energy/inference including the learning component.
   double energy_per_inf_pj = 0.0;
   /// Learning share of the final total energy, in [0, 1].
@@ -146,9 +167,10 @@ class EsamSystem {
 
   /// Runs the online-learning scenario: measures clean accuracy, applies a
   /// data::DriftGenerator permutation to the test inputs, then lets
-  /// arch::SystemSimulator::run_online adapt the output layer. Mutates the
-  /// simulator's SRAM weights (that is the point); build a fresh EsamSystem
-  /// to return to the deployed weights.
+  /// arch::SystemSimulator::run_online adapt the deployed weights (output
+  /// teacher plus the selected hidden-tile rule; optionally on a held-out
+  /// train/eval split). Mutates the simulator's SRAM weights (that is the
+  /// point); build a fresh EsamSystem to return to the deployed weights.
   OnlineReport learn_online(const OnlineOptions& opt = {});
 
  private:

@@ -1,26 +1,28 @@
 // System-level online-training engine (paper secs. 2.2, 4.4.1).
 //
-// Drives supervised stochastic-STDP updates through a *multi-tile* pipeline:
-// one sample is streamed serially through the cascaded tiles, the winner is
-// read from the output tile's membrane potentials (winner-take-all), and the
-// teacher rewards the labelled neuron's weight column / punishes a wrong
-// winner -- each update one column read-modify-write through the transposed
-// RW port of the output tile's macros.
+// A thin conductor over per-tile learning rules: one sample is streamed
+// serially through the cascaded tiles, each plastic hidden tile's rule
+// observes its pre/post spike pair (on_forward), the winner is read from the
+// output tile's membrane potentials (winner-take-all), and the output tile's
+// supervised teacher turns (winner, label) into reward/punish column updates
+// (on_label) -- each update one column read-modify-write through the
+// transposed RW port of that tile's macros.
 //
-// Determinism contract: the trainer owns one OnlineLearner per tile, seeded
-// with derive_learner_seed(base_seed, tile_index) so the per-tile Bernoulli
-// streams are decorrelated (a shared default seed would make every tile draw
-// the *same* update pattern) yet fully reproducible: the same base seed,
-// tiles and sample order always produce bit-identical weights. Only the
-// output-layer learner is driven today; hidden-layer rules are a ROADMAP
-// item, and the per-tile learners are already plumbed for them.
+// Determinism contract: the trainer owns one LearningRule per plastic tile,
+// seeded with derive_learner_seed(base_seed, tile_index) so the per-tile
+// Bernoulli streams are decorrelated (a shared default seed would make every
+// tile draw the *same* update pattern) yet fully reproducible: the same base
+// seed, tiles, rule selection and sample order always produce bit-identical
+// weights.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "esam/arch/tile.hpp"
 #include "esam/learning/online_learner.hpp"
+#include "esam/learning/rules.hpp"
 
 namespace esam::learning {
 
@@ -30,8 +32,8 @@ namespace esam::learning {
 [[nodiscard]] std::uint64_t derive_learner_seed(std::uint64_t base_seed,
                                                 std::size_t tile_index);
 
-/// Teacher configuration. `stdp.seed` is the *base* seed; per-tile learner
-/// seeds are derived from it (see derive_learner_seed).
+/// Pipeline-wide learning configuration. `stdp.seed` is the *base* seed;
+/// per-tile rule seeds are derived from it (see derive_learner_seed).
 struct TrainerConfig {
   StdpConfig stdp{};
   /// Also depress the wrong winner's column on a miss (the supervised
@@ -42,6 +44,15 @@ struct TrainerConfig {
   /// already-good deployment is not churned. Set true to also reinforce
   /// correct predictions (pure reward/punish STDP).
   bool update_on_correct = false;
+  /// Rule driving the hidden tiles; the output tile always runs the
+  /// supervised teacher. kNone freezes the hidden layers.
+  HiddenRule hidden_rule = HiddenRule::kNone;
+  /// Winning columns per inference for the WTA-STDP hidden rule.
+  std::size_t wta_k = 1;
+  /// Optional separate STDP rates for the hidden rules (unsupervised
+  /// updates usually want gentler rates than the teacher); defaults to
+  /// `stdp` when unset. Per-tile seeds are still derived from its seed.
+  std::optional<StdpConfig> hidden_stdp{};
 };
 
 class OnlineTrainer {
@@ -56,31 +67,49 @@ class OnlineTrainer {
   /// so teacher and eval always agree on what "wrong" means).
   [[nodiscard]] std::size_t classify(const util::BitVec& input);
 
-  /// One supervised step: classifies `input`, then rewards `label`'s column
-  /// (and punishes the wrong winner) on the output tile using the spikes
-  /// that actually arrived there. Returns the pre-update winner, so callers
-  /// can fold it into an online-accuracy estimate.
+  /// One supervised step: classifies `input`, lets every hidden rule
+  /// observe its tile's pre/post spikes, then drives the output teacher
+  /// with (winner, label). Returns the pre-update winner, so callers can
+  /// fold it into an online-accuracy estimate.
   std::size_t train_sample(const util::BitVec& input, std::size_t label);
 
   [[nodiscard]] const TrainerConfig& config() const { return cfg_; }
-  [[nodiscard]] std::size_t tile_count() const { return learners_.size(); }
-  [[nodiscard]] const OnlineLearner& learner(std::size_t tile) const {
-    return learners_.at(tile);
+  [[nodiscard]] std::size_t tile_count() const { return rules_.size(); }
+  /// Rule driving tile `t`; nullptr when the tile is not plastic (hidden
+  /// tile with HiddenRule::kNone).
+  [[nodiscard]] const LearningRule* rule(std::size_t t) const {
+    return rules_.at(t).get();
   }
 
-  /// Aggregate column-update stats over every per-tile learner.
+  /// Aggregate column-update stats over every per-tile rule.
   [[nodiscard]] LearningStats stats() const;
+  /// Column-update stats of tile `t` (all-zero for non-plastic tiles).
+  [[nodiscard]] LearningStats tile_stats(std::size_t t) const;
   void reset_stats();
 
+  /// Training-phase metering: when set, the ledger is attached to every
+  /// tile for the duration of each train_sample forward pass (and detached
+  /// around the column updates, whose cost is accounted once -- by the
+  /// rules' LearningStats -- not double-posted through the macro ledger).
+  void set_train_ledger(util::EnergyLedger* ledger);
+
+  /// Tile-step cycles spent in training forward passes (serial: one tile
+  /// stepping at a time), for clock/leakage integration by the caller.
+  [[nodiscard]] std::uint64_t forward_cycles() const {
+    return forward_cycles_;
+  }
+
  private:
-  /// Runs the pipeline serially for one input; leaves the output tile's
-  /// Vmem readable and stores the spikes that entered the last tile.
+  /// Runs the pipeline serially for one input; leaves every tile's
+  /// last_input/last_output pair and the output tile's Vmem readable.
   void forward(const util::BitVec& input);
+  void attach_all(util::EnergyLedger* ledger);
 
   std::vector<arch::Tile>* tiles_;
   TrainerConfig cfg_;
-  std::vector<OnlineLearner> learners_;
-  util::BitVec last_tile_input_;  ///< pre-synaptic spikes of the output tile
+  std::vector<std::unique_ptr<LearningRule>> rules_;
+  util::EnergyLedger* train_ledger_ = nullptr;
+  std::uint64_t forward_cycles_ = 0;
 };
 
 }  // namespace esam::learning

@@ -1,0 +1,114 @@
+// Per-tile learning-rule engine (paper secs. 2.2, 4.4.1).
+//
+// A LearningRule attaches to one tile and turns that tile's forward-pass
+// observations into column updates through its transposed RW port. Two
+// concrete rules cover the pipeline:
+//
+//  * SupervisedTeacherRule -- the output tile's reward/punish WTA teacher
+//    (previously hard-coded in OnlineTrainer::train_sample): reward the
+//    labelled neuron's column with the spikes that reached the tile, punish
+//    a wrong winner.
+//  * WtaStdpRule -- unsupervised hidden-layer plasticity: of the spikes a
+//    hidden tile fired, the k most strongly driven columns (largest fire-time
+//    Vmem margin over threshold, captured by Tile::fire_vmem before the
+//    firing reset) win and receive the stochastic-STDP update with the
+//    tile's pre-synaptic spike vector. Layer-local, label-free, and each
+//    update is the same column read-modify-write the teacher pays -- the
+//    in-macro learning cost story extends to every cascaded tile.
+//
+// Rules own one seeded OnlineLearner each; OnlineTrainer derives the
+// per-tile seeds so multi-tile update streams stay decorrelated yet
+// reproducible (see derive_learner_seed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "esam/arch/tile.hpp"
+#include "esam/learning/online_learner.hpp"
+
+namespace esam::learning {
+
+/// Which local rule drives the hidden tiles (the output tile always runs
+/// the supervised teacher).
+enum class HiddenRule : std::uint8_t {
+  kNone,     ///< hidden tiles stay frozen (the pre-engine behaviour)
+  kWtaStdp,  ///< winner-take-all stochastic STDP on each tile's fired spikes
+};
+
+[[nodiscard]] std::string_view to_string(HiddenRule rule);
+/// Parses a CLI rule name ("none" | "wta-stdp"); nullopt on garbage.
+[[nodiscard]] std::optional<HiddenRule> parse_hidden_rule(
+    std::string_view name);
+
+/// Interface of one per-tile plasticity rule. The tile must outlive the
+/// rule. Hooks observe the tile's fixed-storage per-inference state
+/// (last_input / last_output / fire_vmem), so driving a rule allocates
+/// nothing per sample.
+class LearningRule {
+ public:
+  LearningRule(arch::Tile& tile, StdpConfig stdp);
+  virtual ~LearningRule() = default;
+  LearningRule(const LearningRule&) = delete;
+  LearningRule& operator=(const LearningRule&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called after the owning tile finishes one training forward pass, with
+  /// its pre-synaptic input spikes and fired output spikes.
+  virtual void on_forward(const util::BitVec& pre_spikes,
+                          const util::BitVec& post_spikes);
+
+  /// Called once per supervised sample on the output tile's rule, with the
+  /// spikes that reached the tile, the WTA winner and the teacher label.
+  virtual void on_label(const util::BitVec& pre_spikes, std::size_t winner,
+                        std::size_t label);
+
+  [[nodiscard]] const arch::Tile& tile() const { return *tile_; }
+  /// The seeded STDP configuration this rule draws from.
+  [[nodiscard]] const StdpConfig& config() const { return learner_.config(); }
+  [[nodiscard]] const LearningStats& stats() const { return learner_.stats(); }
+  void reset_stats() { learner_.reset_stats(); }
+
+ protected:
+  arch::Tile* tile_;
+  OnlineLearner learner_;
+};
+
+/// Supervised output-layer teacher configuration (see TrainerConfig for the
+/// field semantics; extracted so the rule is usable stand-alone).
+struct TeacherRuleConfig {
+  bool punish_wrong_winner = true;
+  bool update_on_correct = false;
+};
+
+class SupervisedTeacherRule final : public LearningRule {
+ public:
+  SupervisedTeacherRule(arch::Tile& tile, StdpConfig stdp,
+                        TeacherRuleConfig cfg);
+  [[nodiscard]] std::string_view name() const override { return "teacher"; }
+  void on_label(const util::BitVec& pre_spikes, std::size_t winner,
+                std::size_t label) override;
+
+ private:
+  TeacherRuleConfig cfg_;
+};
+
+class WtaStdpRule final : public LearningRule {
+ public:
+  /// `k` = winning columns per inference (>= 1).
+  WtaStdpRule(arch::Tile& tile, StdpConfig stdp, std::size_t k);
+  [[nodiscard]] std::string_view name() const override { return "wta-stdp"; }
+  void on_forward(const util::BitVec& pre_spikes,
+                  const util::BitVec& post_spikes) override;
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  std::vector<std::size_t> fired_scratch_;  ///< reused winner-selection buffer
+};
+
+}  // namespace esam::learning

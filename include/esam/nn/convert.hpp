@@ -92,4 +92,10 @@ class SnnNetwork {
 /// Converts a {-1,+1} activation vector to a spike vector ('+1' -> spike).
 [[nodiscard]] BitVec to_spikes(const std::vector<float>& bipolar);
 
+/// Number of weight bits that differ between two equally-shaped layers
+/// (e.g. a Tile::export_layer read-back vs the deployed baseline). Throws
+/// on a shape mismatch.
+[[nodiscard]] std::size_t weight_diff_count(const SnnLayer& a,
+                                            const SnnLayer& b);
+
 }  // namespace esam::nn

@@ -99,10 +99,7 @@ void SystemSimulator::stream_batch(std::vector<Tile>& tiles,
   // Physical per-cycle constants; identical for every cloned pipeline.
   const Time period = clock_period();
   const Power leak = total_leakage();
-  const double vdd = util::in_volts(tech_->vdd);
-  const Energy clock_per_cycle = util::joules(
-      static_cast<double>(flop_count()) * kClockCapPerFlopFf * 1e-15 * vdd *
-      vdd);
+  const Energy clock_per_cycle = clock_energy_per_cycle();
 
   const std::size_t n = inputs.size();
   const std::size_t last = tiles.size() - 1;
@@ -171,6 +168,12 @@ void SystemSimulator::stream_batch(std::vector<Tile>& tiles,
 
   for (auto& t : tiles) t.attach_ledger(nullptr);
   cycles += batch_cycles;
+}
+
+Energy SystemSimulator::clock_energy_per_cycle() const {
+  const double vdd = util::in_volts(tech_->vdd);
+  return util::joules(static_cast<double>(flop_count()) * kClockCapPerFlopFf *
+                      1e-15 * vdd * vdd);
 }
 
 void SystemSimulator::finalize_metrics(
@@ -311,55 +314,105 @@ RunResult SystemSimulator::run_batched(const std::vector<BitVec>& inputs,
 OnlineRunResult SystemSimulator::run_online(
     const std::vector<BitVec>& inputs, const std::vector<std::uint8_t>& labels,
     const OnlineTrainConfig& cfg) {
-  if (inputs.empty()) {
+  // The rolling field scenario: the stream being adapted to is the stream
+  // being scored.
+  return run_online(inputs, labels, inputs, labels, cfg);
+}
+
+OnlineRunResult SystemSimulator::run_online(
+    const std::vector<BitVec>& inputs, const std::vector<std::uint8_t>& labels,
+    const std::vector<BitVec>& eval_inputs,
+    const std::vector<std::uint8_t>& eval_labels,
+    const OnlineTrainConfig& cfg) {
+  if (inputs.empty() || eval_inputs.empty()) {
     throw std::invalid_argument("SystemSimulator::run_online: no inputs");
   }
-  if (labels.size() != inputs.size()) {
+  if (labels.size() != inputs.size() ||
+      eval_labels.size() != eval_inputs.size()) {
     throw std::invalid_argument(
         "SystemSimulator::run_online: label count mismatch");
   }
   const std::size_t classes = tiles_.back().config().outputs;
-  for (const std::uint8_t y : labels) {
-    if (y >= classes) {
-      throw std::invalid_argument(
-          "SystemSimulator::run_online: label exceeds output count");
+  auto check_labels = [classes](const std::vector<std::uint8_t>& ys) {
+    for (const std::uint8_t y : ys) {
+      if (y >= classes) {
+        throw std::invalid_argument(
+            "SystemSimulator::run_online: label exceeds output count");
+      }
     }
-  }
+  };
+  check_labels(labels);
+  check_labels(eval_labels);
 
   OnlineRunResult out;
-  RunResult eval = run_batched(inputs, &labels, cfg.eval);
+  RunResult eval = run_batched(eval_inputs, &eval_labels, cfg.eval);
   out.initial_accuracy = eval.accuracy;
 
   learning::OnlineTrainer trainer(tiles_, cfg.trainer);
+  // Meter the serial training-phase forward passes: tile dynamic energies
+  // post into this ledger while the trainer streams samples; the clock tree
+  // and leakage are integrated over the counted serial cycles afterwards,
+  // so the adapt-phase energy story covers inference + updates.
+  EnergyLedger train_ledger;
+  trainer.set_train_ledger(&train_ledger);
+  const Energy clock_per_cycle = clock_energy_per_cycle();
+  const Time period = clock_period();
+  const Power leak = total_leakage();
+
   const std::size_t n = inputs.size();
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     const learning::LearningStats before = trainer.stats();
+    const EnergyLedger ledger_before = train_ledger;
+    const std::uint64_t cycles_before = trainer.forward_cycles();
     std::size_t online_hits = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (trainer.train_sample(inputs[i], labels[i]) == labels[i]) {
         ++online_hits;
       }
     }
-    eval = run_batched(inputs, &labels, cfg.eval);
+    const std::uint64_t train_cycles =
+        trainer.forward_cycles() - cycles_before;
+    train_ledger.add(util::EnergyCategory::kClock,
+                     clock_per_cycle * static_cast<double>(train_cycles));
+    train_ledger.advance_time_with_leakage(
+        period * static_cast<double>(train_cycles), leak);
+    eval = run_batched(eval_inputs, &eval_labels, cfg.eval);
 
     OnlineEpochStats ep;
     ep.online_accuracy =
         static_cast<double>(online_hits) / static_cast<double>(n);
     ep.eval_accuracy = eval.accuracy;
     ep.learning = trainer.stats().since(before);
+    ep.train_cycles = train_cycles;
+    ep.train_energy = train_ledger.since(ledger_before).total_energy();
     out.epochs.push_back(ep);
   }
+  trainer.set_train_ledger(nullptr);
   out.learning = trainer.stats();
+  out.tile_learning.reserve(trainer.tile_count());
+  for (std::size_t t = 0; t < trainer.tile_count(); ++t) {
+    out.tile_learning.push_back(trainer.tile_stats(t));
+  }
+  out.train_ledger = train_ledger;
 
-  // Fold the cumulative learning cost into the final eval phase so its
-  // derived metrics describe the combined adapt-and-infer workload. The
-  // arrays keep leaking while the column updates run, so the learning
-  // interval integrates static power like every simulated cycle does.
+  // Fold the training-phase forward cost and the cumulative learning cost
+  // into the final eval phase so its derived metrics describe the combined
+  // adapt-and-infer workload. The arrays keep leaking while the column
+  // updates run, so the learning interval integrates static power like
+  // every simulated cycle does.
+  eval.ledger += train_ledger;
   eval.ledger.add(util::EnergyCategory::kLearning, out.learning.energy);
-  eval.ledger.advance_time_with_leakage(out.learning.time, total_leakage());
-  finalize_metrics(eval, n, &labels);
+  eval.ledger.advance_time_with_leakage(out.learning.time, leak);
+  finalize_metrics(eval, eval_inputs.size(), &eval_labels);
   out.final_eval = std::move(eval);
   return out;
+}
+
+nn::SnnNetwork SystemSimulator::export_network() const {
+  std::vector<nn::SnnLayer> layers;
+  layers.reserve(tiles_.size());
+  for (const Tile& t : tiles_) layers.push_back(t.export_layer());
+  return nn::SnnNetwork::from_layers(std::move(layers));
 }
 
 }  // namespace esam::arch

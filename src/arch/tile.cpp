@@ -34,7 +34,8 @@ Tile::Tile(const TechnologyParams& tech, TileConfig cfg)
       neuron_model_(tech, cfg.neuron,
                     std::max<std::size_t>(
                         sram::BitcellSpec::of(cfg.cell).read_ports, 1)),
-      output_spikes_(cfg.outputs) {
+      output_spikes_(cfg.outputs),
+      last_input_(cfg.inputs) {
   if (cfg_.inputs == 0 || cfg_.outputs == 0) {
     throw std::invalid_argument("Tile: inputs/outputs must be > 0");
   }
@@ -52,6 +53,7 @@ Tile::Tile(const TechnologyParams& tech, TileConfig cfg)
   }
   neurons_.assign(cfg_.outputs, neuron::IfNeuron(cfg_.neuron));
   readout_offsets_.assign(cfg_.outputs, 0.0f);
+  fire_vmem_.assign(cfg_.outputs, 0);
   row_scratch_.reserve(col_groups_);
   for (std::size_t cg = 0; cg < col_groups_; ++cg) {
     row_scratch_.emplace_back(array_cols(cg));
@@ -74,6 +76,8 @@ Tile::Tile(const Tile& other)
       busy_(other.busy_),
       output_ready_(other.output_ready_),
       output_spikes_(other.output_spikes_),
+      last_input_(other.last_input_),
+      fire_vmem_(other.fire_vmem_),
       row_scratch_(other.row_scratch_),
       ones_scratch_(other.ones_scratch_) {
   macros_.reserve(other.macros_.size());
@@ -141,6 +145,7 @@ void Tile::start_inference(const BitVec& input_spikes) {
   if (input_spikes.size() != cfg_.inputs) {
     throw std::invalid_argument("Tile::start_inference: spike width mismatch");
   }
+  last_input_.assign(input_spikes);
   for (std::size_t rg = 0; rg < row_groups_; ++rg) {
     arbiters_[rg].reset();
     const std::size_t row0 = rg * cfg_.max_array_dim;
@@ -230,9 +235,11 @@ void Tile::step() {
 
 void Tile::fire_phase() {
   // R_empty: every neuron compares Vmem >= Vth; firing neurons raise their
-  // request bits and reset.
-  output_spikes_ = BitVec(cfg_.outputs);
+  // request bits and reset. The pre-reset membrane is snapshotted first so
+  // learning observers can rank the fired columns (reusing fixed storage).
+  output_spikes_.clear();
   for (std::size_t j = 0; j < cfg_.outputs; ++j) {
+    fire_vmem_[j] = neurons_[j].vmem();
     if (cfg_.is_output_layer) continue;  // readout tiles expose Vmem instead
     if (neurons_[j].on_r_empty()) output_spikes_.set(j);
   }
@@ -334,6 +341,31 @@ std::size_t Tile::flop_count() const {
   // One port-output register per column group per port.
   const std::size_t port_regs = col_groups_ * cfg_.max_array_dim * ports;
   return neuron_bits + arbiter_bits + port_regs;
+}
+
+nn::SnnLayer Tile::export_layer() const {
+  nn::SnnLayer layer;
+  layer.weight_rows.assign(cfg_.inputs, BitVec(cfg_.outputs));
+  for (std::size_t rg = 0; rg < row_groups_; ++rg) {
+    for (std::size_t cg = 0; cg < col_groups_; ++cg) {
+      const sram::SramMacro& m = *macros_[rg * col_groups_ + cg];
+      const std::size_t row0 = rg * cfg_.max_array_dim;
+      const std::size_t col0 = cg * cfg_.max_array_dim;
+      for (std::size_t c = 0; c < m.geometry().cols; ++c) {
+        // peek_column applies the stuck-at masks, so the export is what an
+        // inference would actually observe on a faulty array.
+        m.peek_column(c).for_each_set([&](std::size_t r) {
+          layer.weight_rows[row0 + r].set(col0 + c);
+        });
+      }
+    }
+  }
+  layer.thresholds.resize(cfg_.outputs);
+  for (std::size_t j = 0; j < cfg_.outputs; ++j) {
+    layer.thresholds[j] = neurons_[j].vth();
+  }
+  layer.readout_offsets = readout_offsets_;
+  return layer;
 }
 
 sram::SramMacro& Tile::macro(std::size_t row_group, std::size_t col_group) {

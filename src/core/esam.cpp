@@ -1,7 +1,9 @@
 #include "esam/core/esam.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 
 #include "esam/tech/technology.hpp"
 #include "esam/util/table.hpp"
@@ -98,6 +100,10 @@ SystemReport EsamSystem::evaluate(std::size_t max_inferences,
 }
 
 OnlineReport EsamSystem::learn_online(const OnlineOptions& opt) {
+  if (opt.holdout_fraction < 0.0 || opt.holdout_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "EsamSystem::learn_online: holdout_fraction must be in [0, 1)");
+  }
   const data::PreparedDataset& test = model_->data.test;
   std::size_t n = test.size();
   if (opt.max_inferences != 0 && opt.max_inferences < n) {
@@ -116,27 +122,76 @@ OnlineReport EsamSystem::learn_online(const OnlineOptions& opt) {
   rep.inferences = n;
   rep.epochs = opt.epochs;
   rep.drift_fraction = opt.drift_fraction;
-
-  rep.accuracy_clean = sim_.run_batched(inputs, &labels, opt.run).accuracy;
+  rep.hidden_rule = std::string(learning::to_string(opt.trainer.hidden_rule));
 
   const data::DriftGenerator drift(inputs.front().size(), opt.drift_fraction,
                                    opt.drift_seed);
   const std::vector<util::BitVec> drifted = drift.apply_all(inputs);
 
+  // Held-out split: train on the head, evaluate on the tail. With no
+  // holdout both streams are the full window (the rolling field scenario).
+  std::size_t n_eval = n;
+  std::size_t n_train = n;
+  if (opt.holdout_fraction > 0.0) {
+    if (n < 2) {
+      throw std::invalid_argument(
+          "EsamSystem::learn_online: holdout needs at least 2 samples "
+          "(one to train on, one to evaluate)");
+    }
+    n_eval = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(n) *
+                                    opt.holdout_fraction));
+    n_eval = std::min(n_eval, n - 1);  // keep at least one training sample
+    n_train = n - n_eval;
+  }
+  rep.train_samples = n_train;
+  rep.eval_samples = n_eval;
+  const auto split = static_cast<std::ptrdiff_t>(n_train);
+  const std::vector<util::BitVec> train_in(drifted.begin(),
+                                           drifted.begin() + split);
+  const std::vector<std::uint8_t> train_lab(labels.begin(),
+                                            labels.begin() + split);
+  const std::vector<util::BitVec> eval_in(
+      opt.holdout_fraction > 0.0 ? drifted.begin() + split : drifted.begin(),
+      drifted.end());
+  const std::vector<std::uint8_t> eval_lab(
+      opt.holdout_fraction > 0.0 ? labels.begin() + split : labels.begin(),
+      labels.end());
+  const std::vector<util::BitVec> clean_eval_in(
+      opt.holdout_fraction > 0.0 ? inputs.begin() + split : inputs.begin(),
+      inputs.end());
+
+  rep.accuracy_clean =
+      sim_.run_batched(clean_eval_in, &eval_lab, opt.run).accuracy;
+
   arch::OnlineTrainConfig cfg;
   cfg.epochs = opt.epochs;
   cfg.trainer = opt.trainer;
   cfg.eval = opt.run;
-  const arch::OnlineRunResult r = sim_.run_online(drifted, labels, cfg);
+  const arch::OnlineRunResult r =
+      sim_.run_online(train_in, train_lab, eval_in, eval_lab, cfg);
 
   rep.accuracy_drifted = r.initial_accuracy;
   for (const arch::OnlineEpochStats& ep : r.epochs) {
     rep.epoch_eval_accuracy.push_back(ep.eval_accuracy);
     rep.epoch_online_accuracy.push_back(ep.online_accuracy);
+    rep.train_cycles += ep.train_cycles;
   }
   rep.column_updates = r.learning.column_updates;
+  for (const learning::LearningStats& ts : r.tile_learning) {
+    rep.tile_column_updates.push_back(ts.column_updates);
+  }
   rep.learning_time_us = util::in_microseconds(r.learning.time);
   rep.learning_energy_pj = util::in_picojoules(r.learning.energy);
+  rep.train_energy_pj =
+      util::in_picojoules(r.train_ledger.total_energy());
+  // Weight read-back: diff the live SRAM contents against the deployed
+  // baseline, tile by tile.
+  const std::vector<nn::SnnLayer>& deployed = model_->snn.layers();
+  for (std::size_t t = 0; t < sim_.tile_count(); ++t) {
+    rep.weight_bits_changed += nn::weight_diff_count(
+        sim_.tile(t).export_layer(), deployed[t]);
+  }
   rep.energy_per_inf_pj = util::in_picojoules(r.final_eval.energy_per_inference);
   const double total_pj =
       util::in_picojoules(r.final_eval.ledger.total_energy());
@@ -151,6 +206,11 @@ void OnlineReport::print() const {
                 dataset_source + ")");
   t.header({"metric", "value"});
   t.row({"samples / epochs", util::fmt("%zu / %zu", inferences, epochs)});
+  if (train_samples != eval_samples || train_samples != inferences) {
+    t.row({"held-out split",
+           util::fmt("%zu train / %zu eval", train_samples, eval_samples)});
+  }
+  t.row({"hidden-tile rule", hidden_rule});
   t.row({"input drift", util::fmt("%.0f %% of positions permuted",
                                   100.0 * drift_fraction)});
   t.row({"accuracy (deployed, clean)",
@@ -165,8 +225,21 @@ void OnlineReport::print() const {
   }
   t.row({"column updates",
          util::fmt("%llu", static_cast<unsigned long long>(column_updates))});
+  for (std::size_t i = 0; i < tile_column_updates.size(); ++i) {
+    const bool output = i + 1 == tile_column_updates.size();
+    t.row({util::fmt("  tile %zu (%s)", i, output ? "output" : "hidden"),
+           util::fmt("%llu updates", static_cast<unsigned long long>(
+                                         tile_column_updates[i]))});
+  }
   t.row({"learning time", util::fmt("%.2f us", learning_time_us)});
   t.row({"learning energy", util::fmt("%.1f pJ", learning_energy_pj)});
+  t.row({"train-phase forwards",
+         util::fmt("%llu cycles, %.1f pJ",
+                   static_cast<unsigned long long>(train_cycles),
+                   train_energy_pj)});
+  t.row({"weights changed vs deployed",
+         util::fmt("%llu bits",
+                   static_cast<unsigned long long>(weight_bits_changed))});
   t.row({"energy / inference (incl. learning)",
          util::fmt("%.0f pJ", energy_per_inf_pj)});
   t.row({"learning share of energy",

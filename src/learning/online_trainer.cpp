@@ -21,12 +21,28 @@ OnlineTrainer::OnlineTrainer(std::vector<arch::Tile>& tiles, TrainerConfig cfg)
     throw std::invalid_argument(
         "OnlineTrainer: last tile must be an output layer (Vmem readout)");
   }
-  learners_.reserve(tiles.size());
-  for (std::size_t t = 0; t < tiles.size(); ++t) {
-    StdpConfig per_tile = cfg.stdp;
-    per_tile.seed = derive_learner_seed(cfg.stdp.seed, t);
-    learners_.emplace_back(tiles[t], per_tile);
+  const StdpConfig hidden_base = cfg.hidden_stdp.value_or(cfg.stdp);
+  rules_.reserve(tiles.size());
+  for (std::size_t t = 0; t + 1 < tiles.size(); ++t) {
+    switch (cfg.hidden_rule) {
+      case HiddenRule::kNone:
+        rules_.push_back(nullptr);
+        break;
+      case HiddenRule::kWtaStdp: {
+        StdpConfig per_tile = hidden_base;
+        per_tile.seed = derive_learner_seed(hidden_base.seed, t);
+        rules_.push_back(
+            std::make_unique<WtaStdpRule>(tiles[t], per_tile, cfg.wta_k));
+        break;
+      }
+    }
   }
+  StdpConfig out_cfg = cfg.stdp;
+  out_cfg.seed = derive_learner_seed(cfg.stdp.seed, tiles.size() - 1);
+  rules_.push_back(std::make_unique<SupervisedTeacherRule>(
+      tiles.back(), out_cfg,
+      TeacherRuleConfig{.punish_wrong_winner = cfg.punish_wrong_winner,
+                        .update_on_correct = cfg.update_on_correct}));
 }
 
 void OnlineTrainer::forward(const util::BitVec& input) {
@@ -34,13 +50,18 @@ void OnlineTrainer::forward(const util::BitVec& input) {
   util::BitVec spikes = input;
   for (std::size_t l = 0; l + 1 < tiles.size(); ++l) {
     tiles[l].start_inference(spikes);
-    while (tiles[l].busy()) tiles[l].step();
+    while (tiles[l].busy()) {
+      tiles[l].step();
+      ++forward_cycles_;
+    }
     spikes = tiles[l].take_output();
   }
-  last_tile_input_ = std::move(spikes);
   arch::Tile& out = tiles.back();
-  out.start_inference(last_tile_input_);
-  while (out.busy()) out.step();
+  out.start_inference(spikes);
+  while (out.busy()) {
+    out.step();
+    ++forward_cycles_;
+  }
 }
 
 std::size_t OnlineTrainer::classify(const util::BitVec& input) {
@@ -54,31 +75,55 @@ std::size_t OnlineTrainer::classify(const util::BitVec& input) {
 
 std::size_t OnlineTrainer::train_sample(const util::BitVec& input,
                                         std::size_t label) {
-  if (label >= tiles_->back().config().outputs) {
+  std::vector<arch::Tile>& tiles = *tiles_;
+  if (label >= tiles.back().config().outputs) {
     throw std::out_of_range("OnlineTrainer::train_sample: label out of range");
   }
+  // Meter the forward pass only: the rules' column updates are accounted
+  // once, through their LearningStats (folded into the kLearning category
+  // by the caller), so the macro ledger must be detached while they run.
+  if (train_ledger_ != nullptr) attach_all(train_ledger_);
   const std::size_t winner = classify(input);
-  if (winner == label && !cfg_.update_on_correct) return winner;
-  OnlineLearner& teacher = learners_.back();
-  teacher.reward(label, last_tile_input_);
-  if (cfg_.punish_wrong_winner && winner != label) {
-    teacher.punish(winner, last_tile_input_);
+  if (train_ledger_ != nullptr) attach_all(nullptr);
+
+  for (std::size_t t = 0; t + 1 < tiles.size(); ++t) {
+    if (rules_[t] != nullptr) {
+      rules_[t]->on_forward(tiles[t].last_input(), tiles[t].last_output());
+    }
   }
+  rules_.back()->on_label(tiles.back().last_input(), winner, label);
   return winner;
 }
 
 LearningStats OnlineTrainer::stats() const {
   LearningStats total;
-  for (const OnlineLearner& l : learners_) {
-    total.column_updates += l.stats().column_updates;
-    total.time += l.stats().time;
-    total.energy += l.stats().energy;
+  for (const auto& r : rules_) {
+    if (r == nullptr) continue;
+    total.column_updates += r->stats().column_updates;
+    total.time += r->stats().time;
+    total.energy += r->stats().energy;
   }
   return total;
 }
 
+LearningStats OnlineTrainer::tile_stats(std::size_t t) const {
+  const auto& r = rules_.at(t);
+  return r != nullptr ? r->stats() : LearningStats{};
+}
+
 void OnlineTrainer::reset_stats() {
-  for (OnlineLearner& l : learners_) l.reset_stats();
+  for (auto& r : rules_) {
+    if (r != nullptr) r->reset_stats();
+  }
+}
+
+void OnlineTrainer::set_train_ledger(util::EnergyLedger* ledger) {
+  train_ledger_ = ledger;
+  if (ledger == nullptr) attach_all(nullptr);
+}
+
+void OnlineTrainer::attach_all(util::EnergyLedger* ledger) {
+  for (arch::Tile& t : *tiles_) t.attach_ledger(ledger);
 }
 
 }  // namespace esam::learning

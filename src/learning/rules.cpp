@@ -1,0 +1,102 @@
+#include "esam/learning/rules.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esam::learning {
+
+std::string_view to_string(HiddenRule rule) {
+  switch (rule) {
+    case HiddenRule::kNone:
+      return "none";
+    case HiddenRule::kWtaStdp:
+      return "wta-stdp";
+  }
+  return "?";
+}
+
+std::optional<HiddenRule> parse_hidden_rule(std::string_view name) {
+  if (name == "none") return HiddenRule::kNone;
+  if (name == "wta-stdp") return HiddenRule::kWtaStdp;
+  return std::nullopt;
+}
+
+LearningRule::LearningRule(arch::Tile& tile, StdpConfig stdp)
+    : tile_(&tile), learner_(tile, stdp) {}
+
+void LearningRule::on_forward(const util::BitVec& /*pre_spikes*/,
+                              const util::BitVec& /*post_spikes*/) {}
+
+void LearningRule::on_label(const util::BitVec& /*pre_spikes*/,
+                            std::size_t /*winner*/, std::size_t /*label*/) {}
+
+SupervisedTeacherRule::SupervisedTeacherRule(arch::Tile& tile, StdpConfig stdp,
+                                             TeacherRuleConfig cfg)
+    : LearningRule(tile, stdp), cfg_(cfg) {
+  if (!tile.config().is_output_layer) {
+    throw std::invalid_argument(
+        "SupervisedTeacherRule: tile must be an output layer (Vmem readout)");
+  }
+}
+
+void SupervisedTeacherRule::on_label(const util::BitVec& pre_spikes,
+                                     std::size_t winner, std::size_t label) {
+  if (label >= tile_->config().outputs) {
+    throw std::out_of_range("SupervisedTeacherRule: label out of range");
+  }
+  if (winner == label && !cfg_.update_on_correct) return;
+  learner_.reward(label, pre_spikes);
+  if (cfg_.punish_wrong_winner && winner != label) {
+    learner_.punish(winner, pre_spikes);
+  }
+}
+
+WtaStdpRule::WtaStdpRule(arch::Tile& tile, StdpConfig stdp, std::size_t k)
+    : LearningRule(tile, stdp), k_(k) {
+  if (k_ == 0) {
+    throw std::invalid_argument("WtaStdpRule: k must be >= 1");
+  }
+  if (tile.config().is_output_layer) {
+    throw std::invalid_argument(
+        "WtaStdpRule: output-layer tiles run the supervised teacher");
+  }
+  fired_scratch_.reserve(tile.config().outputs);
+}
+
+void WtaStdpRule::on_forward(const util::BitVec& pre_spikes,
+                             const util::BitVec& post_spikes) {
+  if (post_spikes.none()) return;  // no post-synaptic learning event
+
+  fired_scratch_.clear();
+  post_spikes.for_each_set(
+      [this](std::size_t j) { fired_scratch_.push_back(j); });
+
+  if (fired_scratch_.size() > k_) {
+    // Winner ranking: fire-time membrane margin over the column's threshold
+    // (how decisively the neuron fired), ties broken by column index so the
+    // selection is fully deterministic.
+    const std::vector<std::int32_t>& vmem = tile_->fire_vmem();
+    auto margin = [&](std::size_t j) {
+      return vmem[j] - tile_->neuron(j).vth();
+    };
+    std::partial_sort(fired_scratch_.begin(), fired_scratch_.begin() +
+                          static_cast<std::ptrdiff_t>(k_),
+                      fired_scratch_.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        const auto ma = margin(a);
+                        const auto mb = margin(b);
+                        return ma != mb ? ma > mb : a < b;
+                      });
+    fired_scratch_.resize(k_);
+    // Keep the update order independent of the ranking permutation: the
+    // per-column Bernoulli draws come from one sequential stream, so a
+    // stable column order makes trajectories comparable across k.
+    std::sort(fired_scratch_.begin(), fired_scratch_.end());
+  }
+
+  for (const std::size_t j : fired_scratch_) {
+    learner_.reward(j, pre_spikes);
+  }
+}
+
+}  // namespace esam::learning

@@ -164,4 +164,16 @@ BitVec to_spikes(const std::vector<float>& bipolar) {
   return spikes;
 }
 
+std::size_t weight_diff_count(const SnnLayer& a, const SnnLayer& b) {
+  if (a.in_features() != b.in_features() ||
+      a.out_features() != b.out_features()) {
+    throw std::invalid_argument("weight_diff_count: layer shape mismatch");
+  }
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.weight_rows.size(); ++i) {
+    diff += (a.weight_rows[i] ^ b.weight_rows[i]).count();
+  }
+  return diff;
+}
+
 }  // namespace esam::nn

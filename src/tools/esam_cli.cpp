@@ -16,11 +16,19 @@
 //   --threads N         simulator worker threads (0 = all cores, default 1)
 //   --batch N           inferences per pipeline batch (0 = whole stream as
 //                       one batch; defaults to 32 when --threads is given)
-//   --learn             report mode: drift the inputs and adapt the output
-//                       layer in the field (online-learning report)
+//   --learn             report mode: drift the inputs and adapt the deployed
+//                       weights in the field (online-learning report)
 //   --epochs N          train/eval rounds for --learn (default 2)
 //   --drift F           fraction of input positions permuted by the drift,
 //                       in [0, 1] (default 0.25)
+//   --hidden-rule NAME  hidden-tile plasticity for --learn: none | wta-stdp
+//                       (default none; the output tile always runs the
+//                       supervised teacher)
+//   --wta-k N           winning columns per inference for wta-stdp
+//                       (default 1)
+//   --holdout F         hold out this fraction of the samples as a separate
+//                       eval stream (train on the rest), in [0, 1)
+//                       (default 0 = eval on the training stream)
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -49,6 +57,9 @@ struct CliOptions {
   bool learn = false;
   std::size_t epochs = 2;
   double drift = 0.25;
+  learning::HiddenRule hidden_rule = learning::HiddenRule::kNone;
+  std::size_t wta_k = 1;
+  double holdout = 0.0;
 
   /// True when any batched-engine option was given.
   [[nodiscard]] bool batched() const { return threads != 1 || batch != 0; }
@@ -74,7 +85,8 @@ int usage() {
                "usage: esam <info|report|sweep-cells|sweep-vprech|learn> "
                "[--cell NAME] [--vprech MV] [--inferences N] "
                "[--trace FILE.vcd] [--low-power] [--threads N] [--batch N] "
-               "[--learn] [--epochs N] [--drift F]\n"
+               "[--learn] [--epochs N] [--drift F] "
+               "[--hidden-rule none|wta-stdp] [--wta-k N] [--holdout F]\n"
                "numeric flags take plain non-negative numbers "
                "(e.g. --threads 4, --drift 0.25)\n");
   return 2;
@@ -151,6 +163,24 @@ std::optional<CliOptions> parse_options(int argc, char** argv, int first) {
       }
     } else if (arg == "--drift") {
       if (!need_double(opt.drift, 0.0, 1.0)) return std::nullopt;
+    } else if (arg == "--hidden-rule") {
+      const char* v = need_value();
+      if (v == nullptr) return std::nullopt;
+      const auto rule = learning::parse_hidden_rule(v);
+      if (!rule) {
+        std::fprintf(stderr,
+                     "esam: unknown hidden rule '%s' (none | wta-stdp)\n", v);
+        return std::nullopt;
+      }
+      opt.hidden_rule = *rule;
+    } else if (arg == "--wta-k") {
+      if (!need_size(opt.wta_k)) return std::nullopt;
+      if (opt.wta_k == 0) {
+        std::fprintf(stderr, "esam: --wta-k must be >= 1\n");
+        return std::nullopt;
+      }
+    } else if (arg == "--holdout") {
+      if (!need_double(opt.holdout, 0.0, 0.99)) return std::nullopt;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return std::nullopt;
@@ -221,6 +251,9 @@ int cmd_learn_online(const CliOptions& opt) {
   oo.max_inferences = opt.inferences;
   oo.epochs = opt.epochs;
   oo.drift_fraction = opt.drift;
+  oo.trainer.hidden_rule = opt.hidden_rule;
+  oo.trainer.wta_k = opt.wta_k;
+  oo.holdout_fraction = opt.holdout;
   oo.run = opt.run_config();
   system.learn_online(oo).print();
   return 0;

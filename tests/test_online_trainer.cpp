@@ -65,7 +65,8 @@ void make_samples(std::size_t count, std::uint64_t seed,
   }
 }
 
-OnlineTrainConfig train_config(std::size_t epochs, std::size_t eval_threads) {
+OnlineTrainConfig train_config(std::size_t epochs, std::size_t eval_threads,
+                               bool hidden_plasticity = false) {
   OnlineTrainConfig cfg;
   cfg.epochs = epochs;
   // From-scratch operating point: strong rates + reinforce correct
@@ -73,6 +74,14 @@ OnlineTrainConfig train_config(std::size_t epochs, std::size_t eval_threads) {
   cfg.trainer.stdp = {.p_potentiation = 0.35, .p_depression = 0.12,
                       .seed = 99};
   cfg.trainer.update_on_correct = true;
+  if (hidden_plasticity) {
+    cfg.trainer.hidden_rule = learning::HiddenRule::kWtaStdp;
+    cfg.trainer.wta_k = 2;
+    // Unsupervised hidden updates want gentler rates than the teacher.
+    cfg.trainer.hidden_stdp =
+        learning::StdpConfig{.p_potentiation = 0.1, .p_depression = 0.025,
+                             .seed = 99};
+  }
   cfg.eval = {.num_threads = eval_threads, .batch_size = 16};
   return cfg;
 }
@@ -90,7 +99,7 @@ TEST(OnlineTrainer, DerivedSeedsAreDistinctPerTile) {
   }
 }
 
-TEST(OnlineTrainer, LearnersUseDerivedSeeds) {
+TEST(OnlineTrainer, RulesUseDerivedSeeds) {
   std::vector<Tile> tiles;
   TileConfig hidden;
   hidden.inputs = kIn;
@@ -103,15 +112,25 @@ TEST(OnlineTrainer, LearnersUseDerivedSeeds) {
   tiles.emplace_back(tech::imec3nm(), out);
 
   learning::TrainerConfig cfg;  // default StdpConfig: the shared seed 1234
+  cfg.hidden_rule = learning::HiddenRule::kWtaStdp;
   learning::OnlineTrainer trainer(tiles, cfg);
   ASSERT_EQ(trainer.tile_count(), 2u);
   for (std::size_t t = 0; t < trainer.tile_count(); ++t) {
-    EXPECT_EQ(trainer.learner(t).config().seed,
+    ASSERT_NE(trainer.rule(t), nullptr);
+    EXPECT_EQ(trainer.rule(t)->config().seed,
               learning::derive_learner_seed(cfg.stdp.seed, t));
   }
   // The derived seeds must not collapse back onto the shared default.
-  EXPECT_NE(trainer.learner(0).config().seed,
-            trainer.learner(1).config().seed);
+  EXPECT_NE(trainer.rule(0)->config().seed, trainer.rule(1)->config().seed);
+  EXPECT_EQ(trainer.rule(0)->name(), "wta-stdp");
+  EXPECT_EQ(trainer.rule(1)->name(), "teacher");
+
+  // Without a hidden rule the hidden tile is not plastic, the output tile
+  // always is.
+  learning::OnlineTrainer frozen(tiles, {});
+  EXPECT_EQ(frozen.rule(0), nullptr);
+  ASSERT_NE(frozen.rule(1), nullptr);
+  EXPECT_EQ(frozen.tile_stats(0).column_updates, 0u);
 }
 
 TEST(OnlineTrainer, RejectsPipelineWithoutOutputLayer) {
@@ -231,6 +250,71 @@ TEST(RunOnline, RecoversAccuracyAfterDriftOnMultiTileNetwork) {
                 recovered.epochs[1].learning.column_updates);
 }
 
+TEST(RunOnline, HiddenWtaStdpMakesEveryTilePlastic) {
+  std::vector<BitVec> inputs;
+  std::vector<std::uint8_t> labels;
+  make_samples(120, 11, inputs, labels);
+
+  SystemSimulator sim(tech::imec3nm(), deploy_network(3), {});
+  const OnlineRunResult r =
+      sim.run_online(inputs, labels, train_config(2, 1, true));
+
+  // Per-tile stats: the hidden tile's WTA-STDP updates show up as their own
+  // row, and the per-tile rows sum to the aggregate.
+  ASSERT_EQ(r.tile_learning.size(), 2u);
+  EXPECT_GT(r.tile_learning[0].column_updates, 0u) << "hidden tile frozen";
+  EXPECT_GT(r.tile_learning[1].column_updates, 0u) << "output tile frozen";
+  EXPECT_EQ(r.tile_learning[0].column_updates +
+                r.tile_learning[1].column_updates,
+            r.learning.column_updates);
+  EXPECT_GT(r.learning.energy.base(), r.tile_learning[1].energy.base());
+}
+
+TEST(RunOnline, HiddenPlasticityStillRecovers) {
+  SystemSimulator sim(tech::imec3nm(), deploy_network(3), {});
+  std::vector<BitVec> inputs;
+  std::vector<std::uint8_t> labels;
+  make_samples(160, 11, inputs, labels);
+
+  const OnlineRunResult learned =
+      sim.run_online(inputs, labels, train_config(2, 1, true));
+  EXPECT_GT(learned.final_eval.accuracy, 0.7);
+
+  const data::DriftGenerator drift(kIn, 0.5, 7);
+  const std::vector<BitVec> drifted = drift.apply_all(inputs);
+  const OnlineRunResult recovered =
+      sim.run_online(drifted, labels, train_config(2, 1, true));
+  EXPECT_GT(recovered.final_eval.accuracy,
+            recovered.initial_accuracy + 0.2);
+  EXPECT_GT(recovered.final_eval.accuracy, 0.6);
+}
+
+TEST(RunOnline, HeldOutEvalMeasuresGeneralization) {
+  std::vector<BitVec> inputs;
+  std::vector<std::uint8_t> labels;
+  make_samples(200, 15, inputs, labels);
+  const std::vector<BitVec> train_in(inputs.begin(), inputs.begin() + 150);
+  const std::vector<std::uint8_t> train_lab(labels.begin(),
+                                            labels.begin() + 150);
+  const std::vector<BitVec> eval_in(inputs.begin() + 150, inputs.end());
+  const std::vector<std::uint8_t> eval_lab(labels.begin() + 150,
+                                           labels.end());
+
+  SystemSimulator sim(tech::imec3nm(), deploy_network(3), {});
+  const OnlineRunResult r =
+      sim.run_online(train_in, train_lab, eval_in, eval_lab,
+                     train_config(2, 1));
+  // Every eval phase ran on the held-out stream.
+  EXPECT_EQ(r.final_eval.predictions.size(), eval_in.size());
+  // Training on one split generalizes to the other: the prototypes are
+  // shared, so held-out accuracy must recover well above chance (1/8).
+  EXPECT_GT(r.final_eval.accuracy, 0.6);
+  // The network never saw the eval inputs during training; online accuracy
+  // is measured on the training stream.
+  ASSERT_EQ(r.epochs.size(), 2u);
+  EXPECT_GT(r.epochs.back().online_accuracy, 0.5);
+}
+
 TEST(RunOnline, LearningEnergyLandsInTheLedger) {
   SystemSimulator sim(tech::imec3nm(), deploy_network(3), {});
   std::vector<BitVec> inputs;
@@ -242,31 +326,58 @@ TEST(RunOnline, LearningEnergyLandsInTheLedger) {
       r.final_eval.ledger.energy(util::EnergyCategory::kLearning);
   EXPECT_GT(learn_e.base(), 0.0);
   EXPECT_EQ(learn_e.base(), r.learning.energy.base());
-  // energy_per_inference covers eval + learning: strictly more than the
-  // eval-only ledger would give.
-  const util::Energy eval_only =
+  // energy_per_inference covers eval + training + learning: strictly more
+  // than the eval-plus-training ledger would give.
+  const util::Energy eval_and_train =
       r.final_eval.ledger.total_energy() - learn_e;
   EXPECT_GT(r.final_eval.energy_per_inference.base() *
                 static_cast<double>(inputs.size()),
-            eval_only.base());
-  // And the learning wall-clock is part of the elapsed time: the eval phase
-  // alone accounts exactly cycles * clock_period, so dropping the
-  // advance_time(learning.time) fold would fail this.
+            eval_and_train.base());
+  // The serial training-phase forward passes are metered: cycles counted,
+  // tile dynamic energy + clock + leakage in the training ledger.
+  ASSERT_EQ(r.epochs.size(), 1u);
+  EXPECT_GT(r.epochs[0].train_cycles, 0u);
+  EXPECT_GT(r.epochs[0].train_energy.base(), 0.0);
+  EXPECT_GT(r.train_ledger.energy(util::EnergyCategory::kSramRead).base(),
+            0.0);
+  EXPECT_GT(r.train_ledger.energy(util::EnergyCategory::kClock).base(), 0.0);
+  EXPECT_GT(r.train_ledger.energy(util::EnergyCategory::kLeakage).base(),
+            0.0);
+  // Learning energy is accounted once: the training ledger must not also
+  // carry the column updates' transposed-port accesses.
+  EXPECT_EQ(
+      r.train_ledger.energy(util::EnergyCategory::kSramWrite).base(), 0.0);
+  // Training wall-clock is exactly the counted serial cycles.
+  EXPECT_NEAR(util::in_seconds(r.train_ledger.elapsed()),
+              static_cast<double>(r.epochs[0].train_cycles) *
+                  util::in_seconds(sim.clock_period()),
+              1e-12);
+  // And the training + learning wall-clock is part of the elapsed time:
+  // the eval phase alone accounts exactly cycles * clock_period, so
+  // dropping either advance_time fold would fail this.
   const double eval_s = static_cast<double>(r.final_eval.cycles) *
                         util::in_seconds(sim.clock_period());
   EXPECT_GT(util::in_seconds(r.learning.time), 0.0);
   EXPECT_NEAR(util::in_seconds(r.final_eval.elapsed),
-              eval_s + util::in_seconds(r.learning.time), 1e-12);
+              eval_s + util::in_seconds(r.train_ledger.elapsed()) +
+                  util::in_seconds(r.learning.time),
+              1e-12);
 }
 
 TEST(RunOnline, EvalPhasesBitIdenticalAcrossThreadCounts) {
+  // Run the full drift-recovery scenario with hidden + output plasticity:
+  // the whole curve, the per-tile update counts and every ledger category
+  // must be bit-identical for 1 / 4 / 8 eval threads.
   std::vector<BitVec> inputs;
   std::vector<std::uint8_t> labels;
   make_samples(60, 13, inputs, labels);
+  const data::DriftGenerator drift(kIn, 0.5, 7);
+  const std::vector<BitVec> drifted = drift.apply_all(inputs);
 
   auto run = [&](std::size_t threads) {
     SystemSimulator sim(tech::imec3nm(), deploy_network(3), {});
-    return sim.run_online(inputs, labels, train_config(2, threads));
+    (void)sim.run_online(inputs, labels, train_config(1, threads, true));
+    return sim.run_online(drifted, labels, train_config(2, threads, true));
   };
   const OnlineRunResult one = run(1);
   for (const std::size_t threads : {4u, 8u}) {
@@ -279,6 +390,14 @@ TEST(RunOnline, EvalPhasesBitIdenticalAcrossThreadCounts) {
                 one.epochs[e].online_accuracy);
       EXPECT_EQ(many.epochs[e].learning.column_updates,
                 one.epochs[e].learning.column_updates);
+      EXPECT_EQ(many.epochs[e].train_cycles, one.epochs[e].train_cycles);
+      EXPECT_EQ(many.epochs[e].train_energy.base(),
+                one.epochs[e].train_energy.base());
+    }
+    ASSERT_EQ(many.tile_learning.size(), one.tile_learning.size());
+    for (std::size_t t = 0; t < one.tile_learning.size(); ++t) {
+      EXPECT_EQ(many.tile_learning[t].column_updates,
+                one.tile_learning[t].column_updates);
     }
     EXPECT_EQ(many.final_eval.predictions, one.final_eval.predictions);
     EXPECT_EQ(many.final_eval.cycles, one.final_eval.cycles);
