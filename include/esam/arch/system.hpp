@@ -137,6 +137,10 @@ class SystemSimulator {
   [[nodiscard]] std::size_t tile_count() const { return tiles_.size(); }
   [[nodiscard]] Tile& tile(std::size_t i) { return tiles_.at(i); }
   [[nodiscard]] const Tile& tile(std::size_t i) const { return tiles_.at(i); }
+  /// Learning-path access to the whole pipeline (external engines that
+  /// construct their own learning::OnlineTrainer over these tiles, e.g. the
+  /// serve adaptation thread).
+  [[nodiscard]] std::vector<Tile>& tiles() { return tiles_; }
   [[nodiscard]] const SystemConfig& config() const { return cfg_; }
 
   /// Global clock period: the slowest tile stage (all tiles share the cell
@@ -199,6 +203,14 @@ class SystemSimulator {
   /// in-field adaptation), one exported layer per tile -- checkpointing /
   /// weight-diff read-back.
   [[nodiscard]] nn::SnnNetwork export_network() const;
+
+  /// Inverse of export_network(): loads `snn` into the existing tiles
+  /// (weights, thresholds, readout offsets), e.g. deploying a checkpoint
+  /// into already-built hardware or refreshing a serve worker's pipeline
+  /// after a checkpoint swap. Every layer shape is validated *before* any
+  /// tile is touched, so a mismatch throws std::invalid_argument and leaves
+  /// the currently deployed weights intact.
+  void import_network(const nn::SnnNetwork& snn);
 
  private:
   /// One per-batch pipeline stream over `tiles` (the core loop shared by

@@ -23,6 +23,7 @@
 #include "esam/arch/system.hpp"
 #include "esam/data/dataset.hpp"
 #include "esam/data/drift.hpp"
+#include "esam/io/checkpoint.hpp"
 #include "esam/nn/bnn.hpp"
 #include "esam/nn/convert.hpp"
 #include "esam/tech/technology.hpp"
@@ -142,10 +143,17 @@ struct OnlineReport {
   void print() const;
 };
 
+/// The symmetric deployment facade: evaluate, learn and serve all start
+/// from the same deployed-weights abstraction. A system is constructed
+/// either from a live TrainedModel (training flow) or from an io::Checkpoint
+/// (redeployment flow); both paths end in identical hardware state, and
+/// make_checkpoint()/deploy() close the loop so in-field adapted weights can
+/// be persisted and shipped to fresh hardware.
 class EsamSystem {
  public:
   /// Builds the hardware for `hw` on the nominal 3nm node and loads the
-  /// model's weights. The model must outlive the system.
+  /// model's weights; the model's test split becomes the evaluation stream.
+  /// The model must outlive the system.
   EsamSystem(const TrainedModel& model, arch::SystemConfig hw);
 
   /// Same, on an explicit technology node (e.g. tech::imec3nm_low_power();
@@ -153,8 +161,38 @@ class EsamSystem {
   EsamSystem(const TrainedModel& model, arch::SystemConfig hw,
              const tech::TechnologyParams& node);
 
+  /// Deploys a checkpoint into freshly built hardware -- no TrainedModel
+  /// needed. The system starts with no evaluation data; call
+  /// attach_test_data() before evaluate()/learn_online().
+  EsamSystem(const io::Checkpoint& ckpt, arch::SystemConfig hw);
+  EsamSystem(const io::Checkpoint& ckpt, arch::SystemConfig hw,
+             const tech::TechnologyParams& node);
+
   [[nodiscard]] arch::SystemSimulator& simulator() { return sim_; }
   [[nodiscard]] const arch::SystemSimulator& simulator() const { return sim_; }
+
+  /// Loads a checkpoint's weights into the existing hardware (shape must
+  /// match; throws std::invalid_argument otherwise, leaving the current
+  /// weights intact) and makes it the deployed baseline that learn_online
+  /// diffs against.
+  void deploy(const io::Checkpoint& ckpt);
+
+  /// Snapshots the live SRAM weights (after any in-field adaptation) into a
+  /// checkpoint ready for save().
+  [[nodiscard]] io::Checkpoint make_checkpoint(io::CheckpointMeta meta = {}) const;
+
+  /// The deployed baseline: the weights loaded at construction or by the
+  /// last deploy() (not the live, possibly adapted, SRAM contents -- use
+  /// make_checkpoint() for those).
+  [[nodiscard]] const nn::SnnNetwork& deployed_network() const {
+    return deployed_;
+  }
+
+  /// Attaches the evaluation stream used by evaluate()/learn_online(); the
+  /// dataset must outlive the system and its spike width must match the
+  /// first layer. Checkpoint-constructed systems start without one.
+  void attach_test_data(const data::PreparedDataset& test);
+  [[nodiscard]] bool has_test_data() const { return test_ != nullptr; }
 
   /// Streams up to `max_inferences` test images (0 = all) and reports the
   /// system metrics. batch_size 0 streams everything through one pipeline
@@ -174,7 +212,11 @@ class EsamSystem {
   OnlineReport learn_online(const OnlineOptions& opt = {});
 
  private:
-  const TrainedModel* model_;
+  /// Deployed baseline weights (owned copy: checkpoint-constructed systems
+  /// have no TrainedModel to point into).
+  nn::SnnNetwork deployed_;
+  /// Evaluation stream; null until attach_test_data on checkpoint systems.
+  const data::PreparedDataset* test_ = nullptr;
   arch::SystemSimulator sim_;
 };
 

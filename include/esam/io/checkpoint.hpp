@@ -1,0 +1,95 @@
+// Versioned on-disk checkpoint for deployed ESAM weights.
+//
+// The online-learning engine mutates the SRAM weights in place
+// (sec. 4.4.1); without a persistence format those in-field adaptations die
+// with the process. A Checkpoint captures exactly what
+// SystemSimulator::export_network() reads back from the live macros -- the
+// fault-masked observable weight bits, per-neuron thresholds and readout
+// offsets of every layer -- plus model shape and provenance metadata, and
+// serializes it with a header magic, format version and payload CRC so a
+// damaged or truncated file is rejected instead of silently deploying
+// garbage. The inverse path (SystemSimulator::import_network /
+// core::EsamSystem::deploy) loads a checkpoint into freshly built hardware,
+// which is what `esam checkpoint load` and serve::InferenceServer build on.
+//
+// File layout (all integers little-endian, fixed widths):
+//
+//   offset  size  field
+//   0       8     magic "ESAMCKPT"
+//   8       4     format version (currently 1)
+//   12      4     layer count
+//   16      8     payload size in bytes
+//   24      4     CRC-32 of the payload (polynomial 0xEDB88320)
+//   28      4     reserved (zero)
+//   32      ...   payload:
+//                   meta: source string, note string (u32 length + bytes),
+//                         creation time (unix seconds, u64)
+//                   per layer: in u64, out u64,
+//                              thresholds  i32[out],
+//                              readout offsets f32[out],
+//                              weight rows: in x ceil(out/64) u64 words
+//                              (BitVec word layout, row-major)
+//
+// The encoding is bit-exact: integers and IEEE-754 float bit patterns are
+// written verbatim, so a save/load round trip reproduces the adapted
+// network byte for byte (tested in tests/test_checkpoint.cpp).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "esam/nn/convert.hpp"
+
+namespace esam::io {
+
+/// Thrown on any load failure: missing file, bad magic, unsupported
+/// version, truncation, CRC mismatch, or a payload whose layers do not
+/// chain into a valid network.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Provenance metadata carried alongside the weights.
+struct CheckpointMeta {
+  std::string source;  ///< e.g. dataset source or producing subsystem
+  std::string note;    ///< free-form annotation (CLI --note)
+  std::uint64_t created_unix = 0;  ///< creation time, seconds since epoch
+};
+
+/// A deployable snapshot of network weights: the unit that `esam checkpoint`
+/// saves/loads and that serve::InferenceServer publishes atomically.
+struct Checkpoint {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  CheckpointMeta meta;
+  nn::SnnNetwork network;
+
+  /// Wraps an exported network (typically SystemSimulator::export_network()).
+  [[nodiscard]] static Checkpoint from_network(nn::SnnNetwork net,
+                                               CheckpointMeta meta = {});
+
+  [[nodiscard]] std::vector<std::size_t> shape() const {
+    return network.shape();
+  }
+
+  /// Serializes to `path`; throws CheckpointError on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Parses and validates `path` (magic, version, size, CRC, layer
+  /// chaining); throws CheckpointError on any mismatch.
+  [[nodiscard]] static Checkpoint load(const std::string& path);
+
+  /// In-memory encode/decode (the file format without the file; used by the
+  /// tests to corrupt specific bytes).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static Checkpoint decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte range.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+}  // namespace esam::io

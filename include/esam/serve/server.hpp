@@ -1,0 +1,204 @@
+// Long-running inference service over a deployed checkpoint -- the
+// "millions of users" scenario of the ROADMAP made concrete.
+//
+// An InferenceServer owns a deployed model (an io::Checkpoint) and serves
+// concurrent request streams: clients submit() spike vectors from any
+// thread, requests enter a mutex/condvar-guarded queue, and worker threads
+// form *dynamic batches* -- a batch dispatches when it reaches
+// ServerConfig::max_batch requests or when the oldest queued request has
+// waited ServerConfig::max_delay_us, whichever comes first. Each worker owns
+// a deep-cloned tile pipeline (its own arch::SystemSimulator), so batches
+// run concurrently without sharing mutable hardware state, and every
+// request's result carries its share of the batch's modelled energy and the
+// batch's modelled pipeline latency from the existing EnergyLedger
+// machinery, aggregated per client in ServerStats.
+//
+// Determinism contract: pipelining and batch composition never change what
+// an inference computes (the PR-1 engine's core invariant), so a served
+// request's prediction is bit-identical to an offline evaluate of the same
+// checkpoint on the same input, regardless of worker count, batch cuts or
+// arrival interleaving (tested in tests/test_serve.cpp).
+//
+// Serve-while-adapting: with ServerConfig::adapt enabled, labeled requests
+// are also fed to a background adaptation thread that owns a *mutable*
+// learning copy of the model (immutable serving weights vs mutable learning
+// copy). After every ServerConfig::adapt_batch labeled samples it trains
+// via learning::OnlineTrainer and atomically publishes the adapted weights
+// as a new checkpoint (shared_ptr swap + version bump); workers refresh
+// their pipelines at the next batch boundary, so a batch never mixes two
+// weight versions. stop() drains the queue -- every accepted request is
+// answered -- and flushes any remaining labeled samples through one final
+// adaptation round before the threads join.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "esam/arch/system.hpp"
+#include "esam/io/checkpoint.hpp"
+#include "esam/learning/online_trainer.hpp"
+
+namespace esam::serve {
+
+struct ServerConfig {
+  /// Worker threads, each owning a deep-cloned pipeline (min 1).
+  std::size_t num_workers = 2;
+  /// Dispatch a batch as soon as this many requests are queued (min 1).
+  std::size_t max_batch = 16;
+  /// Host-side latency budget: a partial batch dispatches once its oldest
+  /// request has waited this long (microseconds of wall-clock).
+  double max_delay_us = 200.0;
+  /// Background adaptation on labeled requests (serve + adapt).
+  bool adapt = false;
+  /// Labeled samples per adaptation round; each round ends in an atomic
+  /// checkpoint publish.
+  std::size_t adapt_batch = 32;
+  /// Learning configuration of the adaptation engine's mutable model copy.
+  learning::TrainerConfig trainer{};
+};
+
+/// What a client gets back for one request.
+struct InferenceResult {
+  std::uint64_t request_id = 0;
+  std::size_t prediction = 0;
+  /// Version of the published checkpoint that served this request (1 = the
+  /// deployment checkpoint; bumps on every publish()).
+  std::uint64_t model_version = 0;
+  /// Size of the dynamic batch this request rode in.
+  std::size_t batch_size = 0;
+  /// Host wall-clock between submit() and dispatch (queueing delay).
+  double queue_wait_us = 0.0;
+  /// Modelled pipeline latency of the dynamic batch (hardware time).
+  double modeled_latency_ns = 0.0;
+  /// This request's share of the batch's modelled energy (total/batch).
+  double modeled_energy_pj = 0.0;
+};
+
+/// Per-client accounting, aggregated over every served request.
+struct ClientStats {
+  std::uint64_t requests = 0;
+  double modeled_energy_pj = 0.0;   ///< summed energy shares
+  double modeled_latency_ns = 0.0;  ///< summed modelled batch latencies
+  double queue_wait_us = 0.0;       ///< summed host queueing delays
+};
+
+struct ServerStats {
+  std::uint64_t requests_served = 0;
+  std::uint64_t batches_dispatched = 0;
+  /// Batches cut because they reached max_batch...
+  std::uint64_t full_dispatches = 0;
+  /// ...vs cut by the latency budget or the shutdown drain.
+  std::uint64_t deadline_dispatches = 0;
+  std::uint64_t checkpoints_published = 0;  ///< beyond the deployment one
+  std::uint64_t adapt_samples = 0;          ///< labeled samples trained on
+  /// Merged modelled-hardware ledger of every served batch.
+  util::EnergyLedger ledger;
+  /// Per-client accounting, keyed by the submit() client id.
+  std::map<std::uint64_t, ClientStats> clients;
+};
+
+class InferenceServer {
+ public:
+  /// Deploys `ckpt` as model version 1 on the given node/hardware config.
+  /// The node must outlive the server.
+  InferenceServer(const tech::TechnologyParams& node, arch::SystemConfig hw,
+                  io::Checkpoint ckpt, ServerConfig cfg = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Spawns the worker pool (and the adaptation thread when cfg.adapt).
+  void start();
+
+  /// Clean shutdown: stops accepting, drains the queue (every accepted
+  /// request's future is fulfilled), flushes pending adaptation samples,
+  /// joins all threads. Idempotent; also invoked by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// Enqueues one request; any thread may call this. The future resolves
+  /// when a worker serves the request's batch. A label makes the sample
+  /// available to the background adaptation engine. Throws
+  /// std::invalid_argument on a spike-width mismatch and std::logic_error
+  /// when the server is not accepting (not started or stopped).
+  std::future<InferenceResult> submit(util::BitVec input,
+                                      std::uint64_t client_id = 0,
+                                      std::optional<std::uint8_t> label = {});
+
+  /// Atomically publishes new weights (shape must match the deployed
+  /// model). Workers pick the new version up at their next batch boundary.
+  void publish(io::Checkpoint ckpt);
+
+  /// The latest published checkpoint / its version (1 = deployment).
+  [[nodiscard]] io::Checkpoint current_checkpoint() const;
+  [[nodiscard]] std::uint64_t model_version() const;
+
+  /// Snapshot of the aggregate + per-client accounting.
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Request {
+    util::BitVec input;
+    std::optional<std::uint8_t> label;
+    std::uint64_t id = 0;
+    std::uint64_t client = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<InferenceResult> promise;
+  };
+  /// One immutable published model; workers hold shared_ptr snapshots.
+  struct Published {
+    io::Checkpoint ckpt;
+    std::uint64_t version = 0;
+  };
+
+  void worker_loop();
+  void adapt_loop();
+  /// Runs one dynamic batch on a worker's own pipeline, fulfilling every
+  /// request's promise and folding the batch into the stats.
+  void serve_batch(arch::SystemSimulator& sim, std::uint64_t& local_version,
+                   std::vector<Request>& batch, bool full_batch);
+  [[nodiscard]] std::shared_ptr<const Published> snapshot_model() const;
+
+  const tech::TechnologyParams* node_;
+  arch::SystemConfig hw_;
+  ServerConfig cfg_;
+  std::size_t input_width_ = 0;
+
+  /// Published-model slot: shared_ptr swapped under model_mutex_; version_
+  /// doubles as the lock-free staleness probe for workers.
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const Published> published_;
+  std::atomic<std::uint64_t> version_{1};
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool accepting_ = false;
+  bool stopping_ = false;
+  std::uint64_t next_request_id_ = 1;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+
+  std::mutex adapt_mutex_;
+  std::condition_variable adapt_cv_;
+  std::vector<std::pair<util::BitVec, std::uint8_t>> adapt_buffer_;
+  bool adapt_stop_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread adapt_thread_;
+};
+
+}  // namespace esam::serve

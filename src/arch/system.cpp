@@ -415,4 +415,28 @@ nn::SnnNetwork SystemSimulator::export_network() const {
   return nn::SnnNetwork::from_layers(std::move(layers));
 }
 
+void SystemSimulator::import_network(const nn::SnnNetwork& snn) {
+  const std::vector<nn::SnnLayer>& layers = snn.layers();
+  if (layers.size() != tiles_.size()) {
+    throw std::invalid_argument(
+        "SystemSimulator::import_network: network has " +
+        std::to_string(layers.size()) + " layers, hardware has " +
+        std::to_string(tiles_.size()) + " tiles");
+  }
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    if (layers[l].in_features() != tiles_[l].config().inputs ||
+        layers[l].out_features() != tiles_[l].config().outputs) {
+      throw std::invalid_argument(
+          "SystemSimulator::import_network: layer " + std::to_string(l) +
+          " shape " + std::to_string(layers[l].in_features()) + "x" +
+          std::to_string(layers[l].out_features()) + " does not match tile " +
+          std::to_string(tiles_[l].config().inputs) + "x" +
+          std::to_string(tiles_[l].config().outputs));
+    }
+  }
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    tiles_[l].load_layer(layers[l]);
+  }
+}
+
 }  // namespace esam::arch

@@ -52,11 +52,45 @@ EsamSystem::EsamSystem(const TrainedModel& model, arch::SystemConfig hw)
 
 EsamSystem::EsamSystem(const TrainedModel& model, arch::SystemConfig hw,
                        const tech::TechnologyParams& node)
-    : model_(&model), sim_(node, model.snn, hw) {}
+    : deployed_(model.snn), test_(&model.data.test),
+      sim_(node, deployed_, hw) {}
+
+EsamSystem::EsamSystem(const io::Checkpoint& ckpt, arch::SystemConfig hw)
+    : EsamSystem(ckpt, hw, tech::imec3nm()) {}
+
+EsamSystem::EsamSystem(const io::Checkpoint& ckpt, arch::SystemConfig hw,
+                       const tech::TechnologyParams& node)
+    : deployed_(ckpt.network), sim_(node, deployed_, hw) {}
+
+void EsamSystem::deploy(const io::Checkpoint& ckpt) {
+  sim_.import_network(ckpt.network);  // validates shape before mutating
+  deployed_ = ckpt.network;
+}
+
+io::Checkpoint EsamSystem::make_checkpoint(io::CheckpointMeta meta) const {
+  return io::Checkpoint::from_network(sim_.export_network(), std::move(meta));
+}
+
+void EsamSystem::attach_test_data(const data::PreparedDataset& test) {
+  if (test.size() == 0) {
+    throw std::invalid_argument("EsamSystem::attach_test_data: empty dataset");
+  }
+  if (test.spikes.front().size() != sim_.tile(0).config().inputs) {
+    throw std::invalid_argument(
+        "EsamSystem::attach_test_data: spike width does not match the "
+        "deployed network's input layer");
+  }
+  test_ = &test;
+}
 
 SystemReport EsamSystem::evaluate(std::size_t max_inferences,
                                   const arch::RunConfig& run_cfg) {
-  const data::PreparedDataset& test = model_->data.test;
+  if (test_ == nullptr) {
+    throw std::logic_error(
+        "EsamSystem::evaluate: no evaluation data attached "
+        "(checkpoint-deployed system; call attach_test_data first)");
+  }
+  const data::PreparedDataset& test = *test_;
   std::size_t n = test.size();
   if (max_inferences != 0 && max_inferences < n) n = max_inferences;
 
@@ -104,7 +138,12 @@ OnlineReport EsamSystem::learn_online(const OnlineOptions& opt) {
     throw std::invalid_argument(
         "EsamSystem::learn_online: holdout_fraction must be in [0, 1)");
   }
-  const data::PreparedDataset& test = model_->data.test;
+  if (test_ == nullptr) {
+    throw std::logic_error(
+        "EsamSystem::learn_online: no evaluation data attached "
+        "(checkpoint-deployed system; call attach_test_data first)");
+  }
+  const data::PreparedDataset& test = *test_;
   std::size_t n = test.size();
   if (opt.max_inferences != 0 && opt.max_inferences < n) {
     n = opt.max_inferences;
@@ -187,7 +226,7 @@ OnlineReport EsamSystem::learn_online(const OnlineOptions& opt) {
       util::in_picojoules(r.train_ledger.total_energy());
   // Weight read-back: diff the live SRAM contents against the deployed
   // baseline, tile by tile.
-  const std::vector<nn::SnnLayer>& deployed = model_->snn.layers();
+  const std::vector<nn::SnnLayer>& deployed = deployed_.layers();
   for (std::size_t t = 0; t < sim_.tile_count(); ++t) {
     rep.weight_bits_changed += nn::weight_diff_count(
         sim_.tile(t).export_layer(), deployed[t]);

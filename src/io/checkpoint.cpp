@@ -1,0 +1,255 @@
+#include "esam/io/checkpoint.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+namespace esam::io {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'E', 'S', 'A', 'M', 'C', 'K', 'P', 'T'};
+constexpr std::size_t kHeaderSize = 32;
+/// Same sanity bounds as the BnnNetwork cache loader: a hostile header must
+/// not drive a multi-gigabyte allocation before the CRC even runs.
+constexpr std::uint64_t kMaxLayers = 64;
+constexpr std::uint64_t kMaxDim = 1u << 20;
+
+/// Append-only little-endian byte writer for the payload.
+struct Writer {
+  std::vector<std::uint8_t> bytes;
+
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes.insert(bytes.end(), b, b + n);
+  }
+  template <typename T>
+  void scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(&v, sizeof v);
+  }
+  void string(const std::string& s) {
+    scalar(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+};
+
+/// Bounds-checked little-endian byte reader; every overrun is a
+/// CheckpointError (a truncated payload must never read past the buffer).
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  void raw(void* out, std::size_t n) {
+    if (n > size - pos) {
+      throw CheckpointError("checkpoint payload truncated");
+    }
+    std::memcpy(out, data + pos, n);
+    pos += n;
+  }
+  template <typename T>
+  [[nodiscard]] T scalar() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    raw(&v, sizeof v);
+    return v;
+  }
+  [[nodiscard]] std::string string() {
+    const auto n = scalar<std::uint32_t>();
+    if (n > size - pos) {
+      throw CheckpointError("checkpoint payload truncated");
+    }
+    std::string s(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Checkpoint Checkpoint::from_network(nn::SnnNetwork net, CheckpointMeta meta) {
+  if (net.layers().empty()) {
+    throw CheckpointError("Checkpoint::from_network: empty network");
+  }
+  Checkpoint ck;
+  ck.meta = std::move(meta);
+  ck.network = std::move(net);
+  return ck;
+}
+
+std::vector<std::uint8_t> Checkpoint::encode() const {
+  const auto& layers = network.layers();
+  if (layers.empty()) {
+    throw CheckpointError("Checkpoint::encode: empty network");
+  }
+
+  Writer payload;
+  payload.string(meta.source);
+  payload.string(meta.note);
+  payload.scalar<std::uint64_t>(meta.created_unix);
+  for (const nn::SnnLayer& l : layers) {
+    payload.scalar<std::uint64_t>(l.in_features());
+    payload.scalar<std::uint64_t>(l.out_features());
+    payload.raw(l.thresholds.data(),
+                l.thresholds.size() * sizeof(std::int32_t));
+    payload.raw(l.readout_offsets.data(),
+                l.readout_offsets.size() * sizeof(float));
+    for (const util::BitVec& row : l.weight_rows) {
+      payload.raw(row.words().data(),
+                  row.words().size() * sizeof(std::uint64_t));
+    }
+  }
+
+  Writer out;
+  out.raw(kMagic.data(), kMagic.size());
+  out.scalar<std::uint32_t>(kFormatVersion);
+  out.scalar<std::uint32_t>(static_cast<std::uint32_t>(layers.size()));
+  out.scalar<std::uint64_t>(payload.bytes.size());
+  out.scalar<std::uint32_t>(crc32(payload.bytes.data(), payload.bytes.size()));
+  out.scalar<std::uint32_t>(0);  // reserved
+  out.bytes.insert(out.bytes.end(), payload.bytes.begin(),
+                   payload.bytes.end());
+  return out.bytes;
+}
+
+Checkpoint Checkpoint::decode(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kHeaderSize) {
+    throw CheckpointError("checkpoint file shorter than its header");
+  }
+  Reader header{bytes.data(), kHeaderSize};
+  std::array<char, 8> magic{};
+  header.raw(magic.data(), magic.size());
+  if (magic != kMagic) {
+    throw CheckpointError("not an ESAM checkpoint (bad magic)");
+  }
+  const auto version = header.scalar<std::uint32_t>();
+  if (version != kFormatVersion) {
+    throw CheckpointError("unsupported checkpoint format version " +
+                          std::to_string(version));
+  }
+  const auto n_layers = header.scalar<std::uint32_t>();
+  const auto payload_size = header.scalar<std::uint64_t>();
+  const auto stored_crc = header.scalar<std::uint32_t>();
+  if (n_layers == 0 || n_layers > kMaxLayers) {
+    throw CheckpointError("checkpoint layer count out of range");
+  }
+  if (payload_size != bytes.size() - kHeaderSize) {
+    throw CheckpointError("checkpoint payload size mismatch (truncated or "
+                          "trailing bytes)");
+  }
+  const std::uint32_t actual_crc =
+      crc32(bytes.data() + kHeaderSize, payload_size);
+  if (actual_crc != stored_crc) {
+    throw CheckpointError("checkpoint payload CRC mismatch (corrupt file)");
+  }
+
+  Reader r{bytes.data() + kHeaderSize, static_cast<std::size_t>(payload_size)};
+  Checkpoint ck;
+  ck.meta.source = r.string();
+  ck.meta.note = r.string();
+  ck.meta.created_unix = r.scalar<std::uint64_t>();
+
+  std::vector<nn::SnnLayer> layers;
+  layers.reserve(n_layers);
+  for (std::uint32_t li = 0; li < n_layers; ++li) {
+    const auto in = r.scalar<std::uint64_t>();
+    const auto out = r.scalar<std::uint64_t>();
+    if (in == 0 || out == 0 || in > kMaxDim || out > kMaxDim) {
+      throw CheckpointError("checkpoint layer dimensions out of range");
+    }
+    nn::SnnLayer l;
+    l.thresholds.resize(out);
+    r.raw(l.thresholds.data(), out * sizeof(std::int32_t));
+    l.readout_offsets.resize(out);
+    r.raw(l.readout_offsets.data(), out * sizeof(float));
+    l.weight_rows.reserve(in);
+    const std::size_t words_per_row = (out + 63) / 64;
+    std::vector<std::uint64_t> words(words_per_row);
+    for (std::uint64_t row = 0; row < in; ++row) {
+      r.raw(words.data(), words_per_row * sizeof(std::uint64_t));
+      util::BitVec bits(out);
+      // BitVec keeps bits-past-width zero as an invariant; rebuild through
+      // set() so a hand-corrupted tail word cannot violate it.
+      for (std::size_t w = 0; w < words_per_row; ++w) {
+        std::uint64_t word = words[w];
+        while (word != 0) {
+          const auto bit =
+              w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+          if (bit >= out) {
+            throw CheckpointError("checkpoint weight row has bits beyond "
+                                  "the layer width");
+          }
+          bits.set(bit);
+          word &= word - 1;
+        }
+      }
+      l.weight_rows.push_back(std::move(bits));
+    }
+    layers.push_back(std::move(l));
+  }
+  if (r.pos != r.size) {
+    throw CheckpointError("checkpoint payload has trailing bytes");
+  }
+  try {
+    ck.network = nn::SnnNetwork::from_layers(std::move(layers));
+  } catch (const std::exception& e) {
+    throw CheckpointError(std::string("checkpoint layers do not form a "
+                                      "valid network: ") +
+                          e.what());
+  }
+  return ck;
+}
+
+void Checkpoint::save(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = encode();
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    throw CheckpointError("cannot open '" + path + "' for writing");
+  }
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f.good()) {
+    throw CheckpointError("write to '" + path + "' failed");
+  }
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) {
+    throw CheckpointError("cannot open checkpoint '" + path + "'");
+  }
+  const std::streamsize size = f.tellg();
+  if (size < 0) {
+    throw CheckpointError("cannot read checkpoint '" + path + "'");
+  }
+  f.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!f.good() && size != 0) {
+    throw CheckpointError("read of checkpoint '" + path + "' failed");
+  }
+  return decode(bytes);
+}
+
+}  // namespace esam::io

@@ -1,0 +1,313 @@
+#include "esam/serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace esam::serve {
+
+using Clock = std::chrono::steady_clock;
+
+InferenceServer::InferenceServer(const tech::TechnologyParams& node,
+                                 arch::SystemConfig hw, io::Checkpoint ckpt,
+                                 ServerConfig cfg)
+    : node_(&node), hw_(hw), cfg_(cfg) {
+  if (ckpt.network.layers().empty()) {
+    throw std::invalid_argument("InferenceServer: empty checkpoint");
+  }
+  cfg_.num_workers = std::max<std::size_t>(1, cfg_.num_workers);
+  cfg_.max_batch = std::max<std::size_t>(1, cfg_.max_batch);
+  cfg_.adapt_batch = std::max<std::size_t>(1, cfg_.adapt_batch);
+  input_width_ = ckpt.network.layers().front().in_features();
+  auto p = std::make_shared<Published>();
+  p->ckpt = std::move(ckpt);
+  p->version = 1;
+  published_ = std::move(p);
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+void InferenceServer::start() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    if (accepting_ || !workers_.empty()) {
+      throw std::logic_error("InferenceServer::start: already running");
+    }
+    accepting_ = true;
+    stopping_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lk(adapt_mutex_);
+    adapt_stop_ = false;
+  }
+  workers_.reserve(cfg_.num_workers);
+  for (std::size_t w = 0; w < cfg_.num_workers; ++w) {
+    workers_.emplace_back(&InferenceServer::worker_loop, this);
+  }
+  if (cfg_.adapt) {
+    adapt_thread_ = std::thread(&InferenceServer::adapt_loop, this);
+  }
+}
+
+void InferenceServer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    if (workers_.empty() && !accepting_) return;  // never started / stopped
+    accepting_ = false;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  // Workers have drained the queue; now flush the adaptation engine (it
+  // trains on anything still buffered and publishes one last checkpoint).
+  {
+    std::lock_guard<std::mutex> lk(adapt_mutex_);
+    adapt_stop_ = true;
+  }
+  adapt_cv_.notify_all();
+  if (adapt_thread_.joinable()) adapt_thread_.join();
+  std::lock_guard<std::mutex> lk(queue_mutex_);
+  stopping_ = false;
+}
+
+bool InferenceServer::running() const {
+  std::lock_guard<std::mutex> lk(queue_mutex_);
+  return accepting_;
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    util::BitVec input, std::uint64_t client_id,
+    std::optional<std::uint8_t> label) {
+  if (input.size() != input_width_) {
+    throw std::invalid_argument(
+        "InferenceServer::submit: input width " +
+        std::to_string(input.size()) + " does not match the deployed model (" +
+        std::to_string(input_width_) + ")");
+  }
+  Request req;
+  req.input = std::move(input);
+  req.label = label;
+  req.client = client_id;
+  req.enqueued = Clock::now();
+  std::future<InferenceResult> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    if (!accepting_) {
+      throw std::logic_error(
+          "InferenceServer::submit: server is not accepting requests");
+    }
+    req.id = next_request_id_++;
+    queue_.push_back(std::move(req));
+  }
+  queue_cv_.notify_all();
+  return fut;
+}
+
+std::shared_ptr<const InferenceServer::Published>
+InferenceServer::snapshot_model() const {
+  std::lock_guard<std::mutex> lk(model_mutex_);
+  return published_;
+}
+
+void InferenceServer::publish(io::Checkpoint ckpt) {
+  // Shape discipline: a published checkpoint must fit the same hardware
+  // every worker pipeline was built for.
+  const auto current = snapshot_model();
+  if (ckpt.network.shape() != current->ckpt.network.shape()) {
+    throw std::invalid_argument(
+        "InferenceServer::publish: checkpoint shape does not match the "
+        "deployed model");
+  }
+  auto p = std::make_shared<Published>();
+  p->ckpt = std::move(ckpt);
+  {
+    std::lock_guard<std::mutex> lk(model_mutex_);
+    p->version = version_.load(std::memory_order_relaxed) + 1;
+    const std::uint64_t new_version = p->version;
+    published_ = std::move(p);
+    version_.store(new_version, std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  ++stats_.checkpoints_published;
+}
+
+io::Checkpoint InferenceServer::current_checkpoint() const {
+  return snapshot_model()->ckpt;
+}
+
+std::uint64_t InferenceServer::model_version() const {
+  return version_.load(std::memory_order_acquire);
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  return stats_;
+}
+
+void InferenceServer::worker_loop() {
+  // Each worker owns a full pipeline clone built from the published model;
+  // concurrent batches never share mutable hardware state.
+  auto model = snapshot_model();
+  arch::SystemSimulator sim(*node_, model->ckpt.network, hw_);
+  std::uint64_t local_version = model->version;
+  model.reset();
+
+  const auto budget = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::micro>(
+          std::max(0.0, cfg_.max_delay_us)));
+
+  std::unique_lock<std::mutex> lk(queue_mutex_);
+  for (;;) {
+    queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+
+    // Dynamic batch formation: hold the partial batch until it fills or the
+    // oldest request's deadline passes. The shutdown drain takes whatever
+    // is queued immediately.
+    const auto deadline = queue_.front().enqueued + budget;
+    if (!stopping_ && queue_.size() < cfg_.max_batch) {
+      // Returns either when the predicate holds (batch filled, queue stolen
+      // by another worker, or shutdown) or at the deadline -- a partial
+      // batch dispatches in every case.
+      queue_cv_.wait_until(lk, deadline, [&] {
+        return stopping_ || queue_.empty() ||
+               queue_.size() >= cfg_.max_batch;
+      });
+    }
+    if (queue_.empty()) continue;  // another worker raced us to the batch
+
+    const std::size_t take = std::min(cfg_.max_batch, queue_.size());
+    std::vector<Request> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    const bool full_batch = take == cfg_.max_batch;
+
+    lk.unlock();
+    serve_batch(sim, local_version, batch, full_batch);
+    lk.lock();
+  }
+}
+
+void InferenceServer::serve_batch(arch::SystemSimulator& sim,
+                                  std::uint64_t& local_version,
+                                  std::vector<Request>& batch,
+                                  bool full_batch) {
+  // Refresh the pipeline weights at the batch boundary if a new checkpoint
+  // was published: a batch never mixes two model versions.
+  if (local_version != version_.load(std::memory_order_acquire)) {
+    const auto model = snapshot_model();
+    sim.import_network(model->ckpt.network);
+    local_version = model->version;
+  }
+
+  std::vector<util::BitVec> inputs;
+  inputs.reserve(batch.size());
+  for (const Request& r : batch) inputs.push_back(r.input);
+  const auto dispatched = Clock::now();
+  const arch::RunResult run = sim.run(inputs);
+
+  // Labeled requests feed the background adaptation engine.
+  if (cfg_.adapt) {
+    bool any = false;
+    {
+      std::lock_guard<std::mutex> alk(adapt_mutex_);
+      for (Request& r : batch) {
+        if (r.label.has_value()) {
+          adapt_buffer_.emplace_back(std::move(r.input), *r.label);
+          any = true;
+        }
+      }
+    }
+    if (any) adapt_cv_.notify_all();
+  }
+
+  const double batch_latency_ns = util::in_nanoseconds(run.elapsed);
+  const double share_pj = util::in_picojoules(run.ledger.total_energy()) /
+                          static_cast<double>(batch.size());
+  std::vector<InferenceResult> results(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    InferenceResult& res = results[i];
+    res.request_id = batch[i].id;
+    res.prediction = run.predictions[i];
+    res.model_version = local_version;
+    res.batch_size = batch.size();
+    res.queue_wait_us = std::chrono::duration<double, std::micro>(
+                            dispatched - batch[i].enqueued)
+                            .count();
+    res.modeled_latency_ns = batch_latency_ns;
+    res.modeled_energy_pj = share_pj;
+  }
+
+  {
+    std::lock_guard<std::mutex> slk(stats_mutex_);
+    stats_.requests_served += batch.size();
+    ++stats_.batches_dispatched;
+    if (full_batch) {
+      ++stats_.full_dispatches;
+    } else {
+      ++stats_.deadline_dispatches;
+    }
+    stats_.ledger += run.ledger;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ClientStats& c = stats_.clients[batch[i].client];
+      ++c.requests;
+      c.modeled_energy_pj += results[i].modeled_energy_pj;
+      c.modeled_latency_ns += results[i].modeled_latency_ns;
+      c.queue_wait_us += results[i].queue_wait_us;
+    }
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(results[i]));
+  }
+}
+
+void InferenceServer::adapt_loop() {
+  // The mutable learning copy: immutable serving weights live in the
+  // published checkpoint; this pipeline is the only thing the trainer
+  // mutates, and its adapted state reaches the servers only through
+  // publish().
+  auto model = snapshot_model();
+  arch::SystemSimulator learn_sim(*node_, model->ckpt.network, hw_);
+  io::CheckpointMeta meta = model->ckpt.meta;
+  model.reset();
+  learning::OnlineTrainer trainer(learn_sim.tiles(), cfg_.trainer);
+
+  std::unique_lock<std::mutex> lk(adapt_mutex_);
+  for (;;) {
+    adapt_cv_.wait(lk, [&] {
+      return adapt_stop_ || adapt_buffer_.size() >= cfg_.adapt_batch;
+    });
+    if (adapt_buffer_.empty()) {
+      if (adapt_stop_) return;
+      continue;
+    }
+    // On shutdown the remaining partial buffer is flushed as a final round,
+    // so every labeled request contributes to the last published weights.
+    std::vector<std::pair<util::BitVec, std::uint8_t>> samples;
+    samples.swap(adapt_buffer_);
+    lk.unlock();
+
+    for (const auto& [input, label] : samples) {
+      trainer.train_sample(input, label);
+    }
+    io::Checkpoint ck =
+        io::Checkpoint::from_network(learn_sim.export_network(), meta);
+    publish(std::move(ck));
+    {
+      std::lock_guard<std::mutex> slk(stats_mutex_);
+      stats_.adapt_samples += samples.size();
+    }
+
+    lk.lock();
+  }
+}
+
+}  // namespace esam::serve

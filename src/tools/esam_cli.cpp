@@ -1,43 +1,36 @@
 // esam -- command-line front end to the ESAM reproduction.
 //
+// The CLI is a verb registry: every subcommand is a VerbDef row binding a
+// name to a handler, a positional-argument spec and the exact set of options
+// it accepts (drawn from one shared OptionDef table, so a flag means the
+// same thing everywhere it is legal). `esam help` and `esam help <verb>` are
+// generated from the same tables -- the usage text cannot drift from the
+// parser.
+//
 //   esam info                         technology + cell variant summary
 //   esam report [options]             train/load the model, run the system,
 //                                     print the Fig. 8 / Table 3 metrics
 //   esam sweep-cells [options]        all five cells side by side (Fig. 8)
 //   esam sweep-vprech                 the Fig. 7 precharge-voltage study
 //   esam learn                        sec. 4.4.1 learning-cost comparison
-//
-// Options for report / sweep-cells:
-//   --cell NAME         1RW | 1RW+1R | 1RW+2R | 1RW+3R | 1RW+4R  (report)
-//   --vprech MV         precharge voltage in millivolts (default 500)
-//   --inferences N      test inferences to stream (default 500)
-//   --trace FILE.vcd    write a pipeline activity trace (report)
-//   --low-power         use the HVT 500 mV operating point (report)
-//   --threads N         simulator worker threads (0 = all cores, default 1)
-//   --batch N           inferences per pipeline batch (0 = whole stream as
-//                       one batch; defaults to 32 when --threads is given)
-//   --learn             report mode: drift the inputs and adapt the deployed
-//                       weights in the field (online-learning report)
-//   --epochs N          train/eval rounds for --learn (default 2)
-//   --drift F           fraction of input positions permuted by the drift,
-//                       in [0, 1] (default 0.25)
-//   --hidden-rule NAME  hidden-tile plasticity for --learn: none | wta-stdp
-//                       (default none; the output tile always runs the
-//                       supervised teacher)
-//   --wta-k N           winning columns per inference for wta-stdp
-//                       (default 1)
-//   --holdout F         hold out this fraction of the samples as a separate
-//                       eval stream (train on the rest), in [0, 1)
-//                       (default 0 = eval on the training stream)
+//   esam checkpoint save|load|info F  persist / redeploy / inspect weights
+//   esam serve [options]              in-process inference-server demo
+//   esam help [verb]                  generated usage
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "esam/arch/trace.hpp"
 #include "esam/core/esam.hpp"
+#include "esam/io/checkpoint.hpp"
 #include "esam/learning/online_learner.hpp"
+#include "esam/serve/server.hpp"
 #include "esam/sram/timing.hpp"
 #include "esam/util/parse.hpp"
 #include "esam/util/table.hpp"
@@ -46,6 +39,104 @@ using namespace esam;
 
 namespace {
 
+// ---------------------------------------------------------------------------
+// Option registry: one definition per flag, shared by every verb that
+// accepts it. Verbs opt into flags by OptId; anything else is rejected with
+// a pointer at `esam help <verb>`.
+
+enum class OptId {
+  kCell,
+  kVprech,
+  kInferences,
+  kTrace,
+  kLowPower,
+  kThreads,
+  kBatch,
+  kLearn,
+  kEpochs,
+  kDrift,
+  kHiddenRule,
+  kWtaK,
+  kHoldout,
+  kNote,
+  kCheckpoint,
+  kClients,
+  kRequests,
+  kWorkers,
+  kMaxBatch,
+  kMaxDelayUs,
+  kAdapt,
+  kAdaptBatch,
+};
+
+struct OptionDef {
+  OptId id;
+  const char* flag;
+  const char* value;  ///< metavariable, nullptr for boolean flags
+  const char* help;
+};
+
+const OptionDef kOptionTable[] = {
+    {OptId::kCell, "--cell", "NAME",
+     "1RW | 1RW+1R | 1RW+2R | 1RW+3R | 1RW+4R (default 1RW+4R)"},
+    {OptId::kVprech, "--vprech", "MV",
+     "precharge voltage in millivolts (default 500)"},
+    {OptId::kInferences, "--inferences", "N",
+     "test inferences to stream (default 500, 0 = all)"},
+    {OptId::kTrace, "--trace", "FILE.vcd",
+     "write a pipeline activity trace"},
+    {OptId::kLowPower, "--low-power", nullptr,
+     "use the HVT 500 mV operating point"},
+    {OptId::kThreads, "--threads", "N",
+     "simulator worker threads (0 = all cores, default 1)"},
+    {OptId::kBatch, "--batch", "N",
+     "inferences per pipeline batch (0 = whole stream as one batch; "
+     "defaults to 32 when --threads is given)"},
+    {OptId::kLearn, "--learn", nullptr,
+     "drift the inputs and adapt the deployed weights in the field"},
+    {OptId::kEpochs, "--epochs", "N",
+     "train/eval rounds for --learn (default 2)"},
+    {OptId::kDrift, "--drift", "F",
+     "fraction of input positions permuted by the drift, in [0, 1] "
+     "(default 0.25)"},
+    {OptId::kHiddenRule, "--hidden-rule", "NAME",
+     "hidden-tile plasticity: none | wta-stdp (default none; the output "
+     "tile always runs the supervised teacher)"},
+    {OptId::kWtaK, "--wta-k", "N",
+     "winning columns per inference for wta-stdp (default 1)"},
+    {OptId::kHoldout, "--holdout", "F",
+     "hold out this fraction of the samples as a separate eval stream, "
+     "in [0, 1) (default 0 = eval on the training stream)"},
+    {OptId::kNote, "--note", "TEXT",
+     "free-form note stored in the checkpoint metadata"},
+    {OptId::kCheckpoint, "--checkpoint", "FILE",
+     "serve this checkpoint instead of training/loading the model"},
+    {OptId::kClients, "--clients", "N",
+     "concurrent client threads (default 4)"},
+    {OptId::kRequests, "--requests", "N",
+     "requests per client (0 = split the test stream round-robin)"},
+    {OptId::kWorkers, "--workers", "N",
+     "server worker threads, each with its own pipeline (default 2)"},
+    {OptId::kMaxBatch, "--max-batch", "N",
+     "dispatch a batch once this many requests are queued (default 16)"},
+    {OptId::kMaxDelayUs, "--max-delay-us", "F",
+     "latency budget: dispatch a partial batch once its oldest request "
+     "waited this long (default 200)"},
+    {OptId::kAdapt, "--adapt", nullptr,
+     "background adaptation: train on labeled requests and publish new "
+     "checkpoints while serving"},
+    {OptId::kAdaptBatch, "--adapt-batch", "N",
+     "labeled samples per adaptation round (default 32)"},
+};
+
+const OptionDef* find_option(const std::string& flag) {
+  for (const OptionDef& o : kOptionTable) {
+    if (flag == o.flag) return &o;
+  }
+  return nullptr;
+}
+
+/// Parsed values of every option (each verb reads only the ones it allows).
 struct CliOptions {
   sram::CellKind cell = sram::CellKind::k1RW4R;
   double vprech_mv = 500.0;
@@ -60,6 +151,15 @@ struct CliOptions {
   learning::HiddenRule hidden_rule = learning::HiddenRule::kNone;
   std::size_t wta_k = 1;
   double holdout = 0.0;
+  std::string note;
+  std::string checkpoint_path;
+  std::size_t clients = 4;
+  std::size_t requests = 0;
+  std::size_t workers = 2;
+  std::size_t max_batch = 16;
+  double max_delay_us = 200.0;
+  bool adapt = false;
+  std::size_t adapt_batch = 32;
 
   /// True when any batched-engine option was given.
   [[nodiscard]] bool batched() const { return threads != 1 || batch != 0; }
@@ -80,22 +180,186 @@ std::optional<sram::CellKind> parse_cell(const std::string& name) {
   return std::nullopt;
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: esam <info|report|sweep-cells|sweep-vprech|learn> "
-               "[--cell NAME] [--vprech MV] [--inferences N] "
-               "[--trace FILE.vcd] [--low-power] [--threads N] [--batch N] "
-               "[--learn] [--epochs N] [--drift F] "
-               "[--hidden-rule none|wta-stdp] [--wta-k N] [--holdout F]\n"
-               "numeric flags take plain non-negative numbers "
-               "(e.g. --threads 4, --drift 0.25)\n");
-  return 2;
+// ---------------------------------------------------------------------------
+// Verb registry.
+
+struct VerbDef {
+  const char* name;
+  const char* positional_usage;  ///< e.g. "save|load|info FILE", "" for none
+  const char* summary;           ///< one-liner for `esam help`
+  const char* description;       ///< body of `esam help <verb>`
+  std::size_t min_positionals;
+  std::size_t max_positionals;
+  std::initializer_list<OptId> options;
+  int (*handler)(const CliOptions&, const std::vector<std::string>&);
+};
+
+// Handlers (defined below the registry helpers).
+int cmd_info(const CliOptions&, const std::vector<std::string>&);
+int cmd_report(const CliOptions&, const std::vector<std::string>&);
+int cmd_sweep_cells(const CliOptions&, const std::vector<std::string>&);
+int cmd_sweep_vprech(const CliOptions&, const std::vector<std::string>&);
+int cmd_learn(const CliOptions&, const std::vector<std::string>&);
+int cmd_checkpoint(const CliOptions&, const std::vector<std::string>&);
+int cmd_serve(const CliOptions&, const std::vector<std::string>&);
+int cmd_help(const CliOptions&, const std::vector<std::string>&);
+
+const VerbDef kVerbs[] = {
+    {"info", "", "technology + cell variant summary",
+     "Prints the 3nm technology parameters (nominal and low-power nodes)\n"
+     "and the five bitcell variants' area/timing/port characteristics.",
+     0, 0, {}, cmd_info},
+    {"report", "",
+     "train/load the model, run the system, print the Fig. 8 metrics",
+     "Trains the BNN (or loads the cached model), deploys it on the selected\n"
+     "cell/voltage configuration and streams test inferences through the\n"
+     "cycle-accurate pipeline. With --learn it instead runs the online-\n"
+     "learning scenario: drift the inputs, adapt the deployed weights in\n"
+     "the field, report accuracy recovery and the update cost.",
+     0, 0,
+     {OptId::kCell, OptId::kVprech, OptId::kInferences, OptId::kTrace,
+      OptId::kLowPower, OptId::kThreads, OptId::kBatch, OptId::kLearn,
+      OptId::kEpochs, OptId::kDrift, OptId::kHiddenRule, OptId::kWtaK,
+      OptId::kHoldout},
+     cmd_report},
+    {"sweep-cells", "", "all five cells side by side (Fig. 8)",
+     "Evaluates the same trained model on every bitcell variant and prints\n"
+     "the Fig. 8 comparison table.",
+     0, 0,
+     {OptId::kVprech, OptId::kInferences, OptId::kThreads, OptId::kBatch},
+     cmd_sweep_cells},
+    {"sweep-vprech", "", "the Fig. 7 precharge-voltage study",
+     "Analytic per-op access time/energy across precharge voltages and read\n"
+     "port counts; no model or pipeline is built.",
+     0, 0, {}, cmd_sweep_vprech},
+    {"learn", "", "sec. 4.4.1 column-update cost comparison",
+     "Analytic read-modify-write cost of one column update per cell variant\n"
+     "vs the 6T baseline; no model or pipeline is built.",
+     0, 0, {}, cmd_learn},
+    {"checkpoint", "save|load|info FILE",
+     "persist, redeploy or inspect deployed weights",
+     "save FILE  trains (or loads the cached) model, optionally adapts it in\n"
+     "           the field first (--learn and its knobs), then snapshots the\n"
+     "           live SRAM weights into FILE (--note attaches metadata).\n"
+     "load FILE  deploys FILE into freshly built hardware -- no retraining --\n"
+     "           and evaluates it on the standard test stream.\n"
+     "info FILE  prints the checkpoint metadata and shape without building\n"
+     "           any hardware.",
+     2, 2,
+     {OptId::kCell, OptId::kVprech, OptId::kLowPower, OptId::kInferences,
+      OptId::kThreads, OptId::kBatch, OptId::kLearn, OptId::kEpochs,
+      OptId::kDrift, OptId::kHiddenRule, OptId::kWtaK, OptId::kHoldout,
+      OptId::kNote},
+     cmd_checkpoint},
+    {"serve", "", "in-process inference-server demo",
+     "Deploys a model (--checkpoint FILE, or the trained/cached model) into\n"
+     "a serve::InferenceServer and drives it with concurrent client threads\n"
+     "submitting test images. Requests are dynamically batched: a batch\n"
+     "dispatches when it reaches --max-batch requests or when its oldest\n"
+     "request has waited --max-delay-us, whichever comes first. Without\n"
+     "--adapt the served predictions are checked bit-identical against an\n"
+     "offline run of the same checkpoint. With --adapt, labeled requests\n"
+     "train a background model copy that is atomically republished while\n"
+     "serving continues.",
+     0, 0,
+     {OptId::kCell, OptId::kVprech, OptId::kLowPower, OptId::kInferences,
+      OptId::kCheckpoint, OptId::kClients, OptId::kRequests, OptId::kWorkers,
+      OptId::kMaxBatch, OptId::kMaxDelayUs, OptId::kAdapt, OptId::kAdaptBatch,
+      OptId::kHiddenRule, OptId::kWtaK},
+     cmd_serve},
+    {"help", "[verb]", "this overview, or one verb's options",
+     "Prints the verb table, or the usage, description and accepted options\n"
+     "of a single verb. All of it is generated from the same registry the\n"
+     "parser uses.",
+     0, 1, {}, cmd_help},
+};
+
+const VerbDef* find_verb(const std::string& name) {
+  for (const VerbDef& v : kVerbs) {
+    if (name == v.name) return &v;
+  }
+  return nullptr;
 }
 
-std::optional<CliOptions> parse_options(int argc, char** argv, int first) {
+bool verb_allows(const VerbDef& verb, OptId id) {
+  for (OptId o : verb.options) {
+    if (o == id) return true;
+  }
+  return false;
+}
+
+void print_verb_usage_line(const VerbDef& verb, std::FILE* out) {
+  std::fprintf(out, "usage: esam %s%s%s%s\n", verb.name,
+               verb.positional_usage[0] != '\0' ? " " : "",
+               verb.positional_usage,
+               verb.options.size() != 0 ? " [options]" : "");
+}
+
+int help_overview(std::FILE* out) {
+  std::fprintf(out, "usage: esam <verb> [options]\n\nverbs:\n");
+  for (const VerbDef& v : kVerbs) {
+    std::string head = v.name;
+    if (v.positional_usage[0] != '\0') {
+      head += ' ';
+      head += v.positional_usage;
+    }
+    std::fprintf(out, "  %-26s %s\n", head.c_str(), v.summary);
+  }
+  std::fprintf(out, "\nrun 'esam help <verb>' for per-verb options\n");
+  return out == stderr ? 2 : 0;
+}
+
+int help_verb(const VerbDef& verb, std::FILE* out) {
+  print_verb_usage_line(verb, out);
+  std::fprintf(out, "\n%s\n", verb.description);
+  if (verb.options.size() != 0) {
+    std::fprintf(out, "\noptions:\n");
+    for (OptId id : verb.options) {
+      for (const OptionDef& o : kOptionTable) {
+        if (o.id != id) continue;
+        std::string head = o.flag;
+        if (o.value != nullptr) {
+          head += ' ';
+          head += o.value;
+        }
+        std::fprintf(out, "  %-20s %s\n", head.c_str(), o.help);
+      }
+    }
+    std::fprintf(out,
+                 "\nnumeric flags take plain non-negative numbers "
+                 "(e.g. --threads 4, --drift 0.25)\n");
+  }
+  return out == stderr ? 2 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Option parsing: one strict table-driven pass, scoped to the verb's
+// accepted set. Numeric flags reject signs, garbage and overflow instead of
+// the atoll-style silent wrap ("--threads -1" used to become SIZE_MAX).
+
+struct ParsedArgs {
   CliOptions opt;
+  std::vector<std::string> positionals;
+};
+
+std::optional<ParsedArgs> parse_args(const VerbDef& verb, int argc,
+                                     char** argv, int first) {
+  ParsedArgs out;
+  CliOptions& opt = out.opt;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positionals.push_back(arg);
+      continue;
+    }
+    const OptionDef* def = find_option(arg);
+    if (def == nullptr || !verb_allows(verb, def->id)) {
+      std::fprintf(stderr,
+                   "esam: unknown option '%s' for verb '%s' "
+                   "(see 'esam help %s')\n",
+                   arg.c_str(), verb.name, verb.name);
+      return std::nullopt;
+    }
     auto need_value = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "esam: %s expects a value\n", arg.c_str());
@@ -103,9 +367,7 @@ std::optional<CliOptions> parse_options(int argc, char** argv, int first) {
       }
       return argv[++i];
     };
-    // Strict numeric parsing: reject signs, garbage and overflow instead of
-    // the atoll-style silent wrap ("--threads -1" used to become SIZE_MAX).
-    auto need_size = [&](std::size_t& out) -> bool {
+    auto need_size = [&](std::size_t& dst) -> bool {
       const char* v = need_value();
       if (v == nullptr) return false;
       const auto parsed = util::parse_size(v);
@@ -115,81 +377,217 @@ std::optional<CliOptions> parse_options(int argc, char** argv, int first) {
                      arg.c_str(), v);
         return false;
       }
-      out = *parsed;
+      dst = *parsed;
       return true;
     };
-    auto need_double = [&](double& out, double lo, double hi) -> bool {
+    auto need_double = [&](double& dst, double lo, double hi) -> bool {
       const char* v = need_value();
       if (v == nullptr) return false;
       const auto parsed = util::parse_double(v);
       if (!parsed || *parsed < lo || *parsed > hi) {
-        std::fprintf(stderr, "esam: %s expects a number in [%g, %g], got '%s'\n",
+        std::fprintf(stderr,
+                     "esam: %s expects a number in [%g, %g], got '%s'\n",
                      arg.c_str(), lo, hi, v);
         return false;
       }
-      out = *parsed;
+      dst = *parsed;
       return true;
     };
-    if (arg == "--cell") {
+    auto need_string = [&](std::string& dst) -> bool {
       const char* v = need_value();
-      if (v == nullptr) return std::nullopt;
-      const auto cell = parse_cell(v);
-      if (!cell) {
-        std::fprintf(stderr, "unknown cell '%s'\n", v);
-        return std::nullopt;
+      if (v == nullptr) return false;
+      dst = v;
+      return true;
+    };
+    switch (def->id) {
+      case OptId::kCell: {
+        const char* v = need_value();
+        if (v == nullptr) return std::nullopt;
+        const auto cell = parse_cell(v);
+        if (!cell) {
+          std::fprintf(stderr, "unknown cell '%s'\n", v);
+          return std::nullopt;
+        }
+        opt.cell = *cell;
+        break;
       }
-      opt.cell = *cell;
-    } else if (arg == "--vprech") {
-      if (!need_double(opt.vprech_mv, 1.0, 10000.0)) return std::nullopt;
-    } else if (arg == "--inferences") {
-      if (!need_size(opt.inferences)) return std::nullopt;
-    } else if (arg == "--trace") {
-      const char* v = need_value();
-      if (v == nullptr) return std::nullopt;
-      opt.trace_path = v;
-    } else if (arg == "--low-power") {
-      opt.low_power = true;
-    } else if (arg == "--threads") {
-      if (!need_size(opt.threads)) return std::nullopt;
-    } else if (arg == "--batch") {
-      if (!need_size(opt.batch)) return std::nullopt;
-    } else if (arg == "--learn") {
-      opt.learn = true;
-    } else if (arg == "--epochs") {
-      if (!need_size(opt.epochs)) return std::nullopt;
-      if (opt.epochs == 0) {
-        std::fprintf(stderr, "esam: --epochs must be >= 1\n");
-        return std::nullopt;
+      case OptId::kVprech:
+        if (!need_double(opt.vprech_mv, 1.0, 10000.0)) return std::nullopt;
+        break;
+      case OptId::kInferences:
+        if (!need_size(opt.inferences)) return std::nullopt;
+        break;
+      case OptId::kTrace:
+        if (!need_string(opt.trace_path)) return std::nullopt;
+        break;
+      case OptId::kLowPower:
+        opt.low_power = true;
+        break;
+      case OptId::kThreads:
+        if (!need_size(opt.threads)) return std::nullopt;
+        break;
+      case OptId::kBatch:
+        if (!need_size(opt.batch)) return std::nullopt;
+        break;
+      case OptId::kLearn:
+        opt.learn = true;
+        break;
+      case OptId::kEpochs:
+        if (!need_size(opt.epochs)) return std::nullopt;
+        if (opt.epochs == 0) {
+          std::fprintf(stderr, "esam: --epochs must be >= 1\n");
+          return std::nullopt;
+        }
+        break;
+      case OptId::kDrift:
+        if (!need_double(opt.drift, 0.0, 1.0)) return std::nullopt;
+        break;
+      case OptId::kHiddenRule: {
+        const char* v = need_value();
+        if (v == nullptr) return std::nullopt;
+        const auto rule = learning::parse_hidden_rule(v);
+        if (!rule) {
+          std::fprintf(stderr,
+                       "esam: unknown hidden rule '%s' (none | wta-stdp)\n",
+                       v);
+          return std::nullopt;
+        }
+        opt.hidden_rule = *rule;
+        break;
       }
-    } else if (arg == "--drift") {
-      if (!need_double(opt.drift, 0.0, 1.0)) return std::nullopt;
-    } else if (arg == "--hidden-rule") {
-      const char* v = need_value();
-      if (v == nullptr) return std::nullopt;
-      const auto rule = learning::parse_hidden_rule(v);
-      if (!rule) {
-        std::fprintf(stderr,
-                     "esam: unknown hidden rule '%s' (none | wta-stdp)\n", v);
-        return std::nullopt;
-      }
-      opt.hidden_rule = *rule;
-    } else if (arg == "--wta-k") {
-      if (!need_size(opt.wta_k)) return std::nullopt;
-      if (opt.wta_k == 0) {
-        std::fprintf(stderr, "esam: --wta-k must be >= 1\n");
-        return std::nullopt;
-      }
-    } else if (arg == "--holdout") {
-      if (!need_double(opt.holdout, 0.0, 0.99)) return std::nullopt;
-    } else {
-      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-      return std::nullopt;
+      case OptId::kWtaK:
+        if (!need_size(opt.wta_k)) return std::nullopt;
+        if (opt.wta_k == 0) {
+          std::fprintf(stderr, "esam: --wta-k must be >= 1\n");
+          return std::nullopt;
+        }
+        break;
+      case OptId::kHoldout:
+        if (!need_double(opt.holdout, 0.0, 0.99)) return std::nullopt;
+        break;
+      case OptId::kNote:
+        if (!need_string(opt.note)) return std::nullopt;
+        break;
+      case OptId::kCheckpoint:
+        if (!need_string(opt.checkpoint_path)) return std::nullopt;
+        break;
+      case OptId::kClients:
+        if (!need_size(opt.clients)) return std::nullopt;
+        break;
+      case OptId::kRequests:
+        if (!need_size(opt.requests)) return std::nullopt;
+        break;
+      case OptId::kWorkers:
+        if (!need_size(opt.workers)) return std::nullopt;
+        break;
+      case OptId::kMaxBatch:
+        if (!need_size(opt.max_batch)) return std::nullopt;
+        break;
+      case OptId::kMaxDelayUs:
+        if (!need_double(opt.max_delay_us, 0.0, 1e9)) return std::nullopt;
+        break;
+      case OptId::kAdapt:
+        opt.adapt = true;
+        break;
+      case OptId::kAdaptBatch:
+        if (!need_size(opt.adapt_batch)) return std::nullopt;
+        break;
     }
   }
-  return opt;
+  if (out.positionals.size() < verb.min_positionals ||
+      out.positionals.size() > verb.max_positionals) {
+    print_verb_usage_line(verb, stderr);
+    return std::nullopt;
+  }
+  return out;
 }
 
-int cmd_info() {
+// ---------------------------------------------------------------------------
+// Shared handler plumbing.
+
+const tech::TechnologyParams& node_of(const CliOptions& opt) {
+  return opt.low_power ? tech::imec3nm_low_power() : tech::imec3nm();
+}
+
+arch::SystemConfig hw_of(const CliOptions& opt) {
+  arch::SystemConfig hw;
+  hw.cell = opt.cell;
+  hw.vprech = opt.low_power ? node_of(opt).vprech_nominal
+                            : util::millivolts(opt.vprech_mv);
+  hw.clock_derate = opt.low_power ? 2.5 : 1.0;
+  return hw;
+}
+
+core::TrainedModel load_model() {
+  core::ModelConfig mc;
+  mc.verbose = true;
+  return core::TrainedModel::create(mc);
+}
+
+/// The standard evaluation stream: same source/seed/size as the default
+/// ModelConfig, so a redeployed checkpoint is measured against the same test
+/// set its model was evaluated on (the training half is not needed).
+data::PreparedDataset load_eval_stream() {
+  core::ModelConfig mc;
+  return data::load_default_split(1, mc.n_test, mc.data_seed).test;
+}
+
+core::OnlineOptions online_options(const CliOptions& opt) {
+  core::OnlineOptions oo;
+  oo.max_inferences = opt.inferences;
+  oo.epochs = opt.epochs;
+  oo.drift_fraction = opt.drift;
+  oo.trainer.hidden_rule = opt.hidden_rule;
+  oo.trainer.wta_k = opt.wta_k;
+  oo.holdout_fraction = opt.holdout;
+  oo.run = opt.run_config();
+  return oo;
+}
+
+std::string shape_string(const std::vector<std::size_t>& shape) {
+  std::string s;
+  for (std::size_t d : shape) {
+    if (!s.empty()) s += ':';
+    s += std::to_string(d);
+  }
+  return s;
+}
+
+void print_checkpoint_info(const std::string& path,
+                           const io::Checkpoint& ckpt) {
+  std::uint64_t weight_bits = 0;
+  std::size_t neurons = 0;
+  for (const nn::SnnLayer& l : ckpt.network.layers()) {
+    weight_bits += l.in_features() * l.out_features();
+    neurons += l.out_features();
+  }
+  util::Table table("checkpoint: " + path);
+  table.header({"field", "value"});
+  table.row({"format version", util::fmt("%u", io::Checkpoint::kFormatVersion)});
+  table.row({"layers", util::fmt("%zu", ckpt.network.layers().size())});
+  table.row({"shape", shape_string(ckpt.shape())});
+  table.row({"neurons", util::fmt("%zu", neurons)});
+  table.row({"synapses", util::fmt("%llu",
+                                   static_cast<unsigned long long>(weight_bits))});
+  table.row({"file bytes", util::fmt("%zu", ckpt.encode().size())});
+  if (ckpt.meta.created_unix != 0) {
+    const auto t = static_cast<std::time_t>(ckpt.meta.created_unix);
+    char buf[64] = {0};
+    std::tm tm_utc{};
+    if (gmtime_r(&t, &tm_utc) != nullptr) {
+      std::strftime(buf, sizeof buf, "%Y-%m-%d %H:%M:%S UTC", &tm_utc);
+    }
+    table.row({"created", buf});
+  }
+  table.row({"source", ckpt.meta.source.empty() ? "-" : ckpt.meta.source});
+  table.row({"note", ckpt.meta.note.empty() ? "-" : ckpt.meta.note});
+  table.print();
+}
+
+// ---------------------------------------------------------------------------
+// Verb handlers. Existing verbs keep their exact behavior and flags.
+
+int cmd_info(const CliOptions&, const std::vector<std::string>&) {
   for (const tech::TechnologyParams* t :
        {&tech::imec3nm(), &tech::imec3nm_low_power()}) {
     util::Table table(std::string("technology: ") + t->name);
@@ -223,12 +621,6 @@ int cmd_info() {
   return 0;
 }
 
-core::TrainedModel load_model() {
-  core::ModelConfig mc;
-  mc.verbose = true;
-  return core::TrainedModel::create(mc);
-}
-
 /// `report --learn`: the online-learning scenario at system scale -- drift
 /// the test inputs, adapt the output layer in the field, report accuracy
 /// recovery and the hardware cost of the column updates.
@@ -239,37 +631,16 @@ int cmd_learn_online(const CliOptions& opt) {
                  "eval phases have no single cycle order); ignoring it\n");
   }
   const core::TrainedModel model = load_model();
-  const tech::TechnologyParams& node =
-      opt.low_power ? tech::imec3nm_low_power() : tech::imec3nm();
-  arch::SystemConfig hw;
-  hw.cell = opt.cell;
-  hw.vprech = opt.low_power ? node.vprech_nominal
-                            : util::millivolts(opt.vprech_mv);
-  hw.clock_derate = opt.low_power ? 2.5 : 1.0;
-  core::EsamSystem system(model, hw, node);
-  core::OnlineOptions oo;
-  oo.max_inferences = opt.inferences;
-  oo.epochs = opt.epochs;
-  oo.drift_fraction = opt.drift;
-  oo.trainer.hidden_rule = opt.hidden_rule;
-  oo.trainer.wta_k = opt.wta_k;
-  oo.holdout_fraction = opt.holdout;
-  oo.run = opt.run_config();
-  system.learn_online(oo).print();
+  core::EsamSystem system(model, hw_of(opt), node_of(opt));
+  system.learn_online(online_options(opt)).print();
   return 0;
 }
 
-int cmd_report(const CliOptions& opt) {
+int cmd_report(const CliOptions& opt, const std::vector<std::string>&) {
   if (opt.learn) return cmd_learn_online(opt);
   const core::TrainedModel model = load_model();
-  const tech::TechnologyParams& node =
-      opt.low_power ? tech::imec3nm_low_power() : tech::imec3nm();
-  arch::SystemConfig hw;
-  hw.cell = opt.cell;
-  hw.vprech = opt.low_power ? node.vprech_nominal
-                            : util::millivolts(opt.vprech_mv);
-  hw.clock_derate = opt.low_power ? 2.5 : 1.0;
-  arch::SystemSimulator sim(node, model.snn, hw);
+  const tech::TechnologyParams& node = node_of(opt);
+  arch::SystemSimulator sim(node, model.snn, hw_of(opt));
 
   std::size_t n = std::min(opt.inferences, model.data.test.size());
   if (n == 0) n = model.data.test.size();
@@ -326,7 +697,7 @@ int cmd_report(const CliOptions& opt) {
   return 0;
 }
 
-int cmd_sweep_cells(const CliOptions& opt) {
+int cmd_sweep_cells(const CliOptions& opt, const std::vector<std::string>&) {
   const core::TrainedModel model = load_model();
   util::Table table("cell sweep (Fig. 8)");
   table.header({"cell", "clock [MHz]", "thr [MInf/s]", "energy [pJ/Inf]",
@@ -336,7 +707,8 @@ int cmd_sweep_cells(const CliOptions& opt) {
     hw.cell = k;
     hw.vprech = util::millivolts(opt.vprech_mv);
     core::EsamSystem system(model, hw);
-    const core::SystemReport r = system.evaluate(opt.inferences, opt.run_config());
+    const core::SystemReport r =
+        system.evaluate(opt.inferences, opt.run_config());
     table.row({r.cell, util::fmt("%.0f", r.clock_mhz),
                util::fmt("%.1f", r.throughput_minf_per_s),
                util::fmt("%.0f", r.energy_per_inf_pj),
@@ -347,15 +719,15 @@ int cmd_sweep_cells(const CliOptions& opt) {
   return 0;
 }
 
-int cmd_sweep_vprech() {
+int cmd_sweep_vprech(const CliOptions&, const std::vector<std::string>&) {
   util::Table table("Vprech sweep, per-op access time/energy (Fig. 7)");
   table.header({"Vprech [mV]", "1 port", "2 ports", "3 ports", "4 ports"});
   for (double v : {400.0, 500.0, 600.0, 700.0}) {
     std::vector<std::string> row{util::fmt("%.0f", v)};
     for (std::size_t p = 1; p <= 4; ++p) {
-      const sram::SramTimingModel m(tech::imec3nm(),
-                                    sram::BitcellSpec::of(sram::kAllCellKinds[p]),
-                                    {}, util::millivolts(v));
+      const sram::SramTimingModel m(
+          tech::imec3nm(), sram::BitcellSpec::of(sram::kAllCellKinds[p]), {},
+          util::millivolts(v));
       row.push_back(util::fmt(
           "%.0fps/%.0ffJ",
           util::in_picoseconds(m.average_access_time_full_utilization()),
@@ -367,13 +739,10 @@ int cmd_sweep_vprech() {
   return 0;
 }
 
-int cmd_learn() {
+int cmd_learn(const CliOptions&, const std::vector<std::string>&) {
   util::Table table("column-update cost (sec. 4.4.1)");
   table.header({"cell", "column read [ns]", "column write [ns]",
                 "vs 6T baseline"});
-  const sram::SramTimingModel base(tech::imec3nm(),
-                                   sram::BitcellSpec::of(sram::CellKind::k1RW),
-                                   {}, util::millivolts(500.0));
   for (sram::CellKind k : sram::kAllCellKinds) {
     const sram::SramTimingModel m(tech::imec3nm(), sram::BitcellSpec::of(k),
                                   {}, util::millivolts(500.0));
@@ -391,22 +760,223 @@ int cmd_learn() {
   return 0;
 }
 
+int cmd_checkpoint(const CliOptions& opt,
+                   const std::vector<std::string>& pos) {
+  const std::string& sub = pos[0];
+  const std::string& path = pos[1];
+  if (sub == "info") {
+    print_checkpoint_info(path, io::Checkpoint::load(path));
+    return 0;
+  }
+  if (sub == "save") {
+    const core::TrainedModel model = load_model();
+    core::EsamSystem system(model, hw_of(opt), node_of(opt));
+    if (opt.learn) {
+      // Adapt in the field first, then persist what the SRAM actually
+      // holds: the checkpoint captures the adapted weights.
+      system.learn_online(online_options(opt)).print();
+    }
+    io::CheckpointMeta meta;
+    meta.source = opt.learn ? "esam checkpoint save --learn"
+                            : "esam checkpoint save";
+    meta.note = opt.note;
+    meta.created_unix = static_cast<std::uint64_t>(std::time(nullptr));
+    const io::Checkpoint ckpt = system.make_checkpoint(std::move(meta));
+    ckpt.save(path);
+    print_checkpoint_info(path, ckpt);
+    return 0;
+  }
+  if (sub == "load") {
+    const io::Checkpoint ckpt = io::Checkpoint::load(path);
+    print_checkpoint_info(path, ckpt);
+    core::EsamSystem system(ckpt, hw_of(opt), node_of(opt));
+    const data::PreparedDataset eval = load_eval_stream();
+    system.attach_test_data(eval);
+    system.evaluate(opt.inferences, opt.run_config()).print();
+    return 0;
+  }
+  std::fprintf(stderr,
+               "esam: unknown checkpoint subcommand '%s' "
+               "(save | load | info)\n",
+               sub.c_str());
+  return 2;
+}
+
+int cmd_serve(const CliOptions& opt, const std::vector<std::string>&) {
+  const tech::TechnologyParams& node = node_of(opt);
+  const arch::SystemConfig hw = hw_of(opt);
+
+  // The deployed model: an explicit checkpoint, or the trained/cached one.
+  io::Checkpoint ckpt;
+  std::optional<core::TrainedModel> model;
+  if (!opt.checkpoint_path.empty()) {
+    ckpt = io::Checkpoint::load(opt.checkpoint_path);
+  } else {
+    model = load_model();
+    io::CheckpointMeta meta;
+    meta.source = "esam serve (trained in-process)";
+    ckpt = io::Checkpoint::from_network(model->snn, std::move(meta));
+  }
+
+  const data::PreparedDataset eval =
+      model ? model->data.test : load_eval_stream();
+  if (ckpt.network.layers().front().in_features() != eval.spikes.front().size()) {
+    std::fprintf(stderr,
+                 "esam: checkpoint input width %zu does not match the "
+                 "test stream (%zu)\n",
+                 ckpt.network.layers().front().in_features(),
+                 eval.spikes.front().size());
+    return 1;
+  }
+  std::size_t n = std::min(opt.inferences, eval.size());
+  if (n == 0) n = eval.size();
+
+  // Offline reference on the very same checkpoint: the determinism yardstick
+  // for the served stream (only meaningful while the weights stay fixed).
+  arch::SystemSimulator ref_sim(node, ckpt.network, hw);
+  const std::vector<util::BitVec> ref_inputs(
+      eval.spikes.begin(),
+      eval.spikes.begin() + static_cast<std::ptrdiff_t>(n));
+  const arch::RunResult ref = ref_sim.run(ref_inputs);
+
+  serve::ServerConfig scfg;
+  scfg.num_workers = opt.workers;
+  scfg.max_batch = opt.max_batch;
+  scfg.max_delay_us = opt.max_delay_us;
+  scfg.adapt = opt.adapt;
+  scfg.adapt_batch = opt.adapt_batch;
+  // Fine-tuning operating point (see core::OnlineOptions): gentle rates so
+  // adaptation nudges the deployed structure instead of erasing it.
+  scfg.trainer.stdp = {.p_potentiation = 0.05, .p_depression = 0.015,
+                       .seed = 99};
+  scfg.trainer.hidden_rule = opt.hidden_rule;
+  scfg.trainer.wta_k = opt.wta_k;
+
+  serve::InferenceServer server(node, hw, ckpt, scfg);
+  server.start();
+
+  const std::size_t clients = std::max<std::size_t>(1, opt.clients);
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> correct{0};
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::pair<std::size_t,
+                            std::future<serve::InferenceResult>>> futs;
+      for (std::size_t j = 0;; ++j) {
+        std::size_t idx = c + j * clients;
+        if (opt.requests > 0) {
+          if (j >= opt.requests) break;
+          idx %= n;
+        } else if (idx >= n) {
+          break;
+        }
+        futs.emplace_back(
+            idx, server.submit(eval.spikes[idx], c,
+                               opt.adapt ? std::optional<std::uint8_t>(
+                                               eval.labels[idx])
+                                         : std::nullopt));
+      }
+      for (auto& [idx, fut] : futs) {
+        const serve::InferenceResult r = fut.get();
+        ++total;
+        if (r.prediction == eval.labels[idx]) ++correct;
+        // Bit-exactness only holds while the model is not republished
+        // under adaptation.
+        if (!opt.adapt && r.prediction != ref.predictions[idx]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.stop();
+
+  const serve::ServerStats stats = server.stats();
+  util::Table table("esam serve -- " +
+                    std::string(sram::to_string(opt.cell)) + " @ " +
+                    node.name);
+  table.header({"metric", "value"});
+  table.row({"requests served", util::fmt("%llu",
+             static_cast<unsigned long long>(stats.requests_served))});
+  table.row({"batches", util::fmt("%llu (%llu full, %llu deadline)",
+             static_cast<unsigned long long>(stats.batches_dispatched),
+             static_cast<unsigned long long>(stats.full_dispatches),
+             static_cast<unsigned long long>(stats.deadline_dispatches))});
+  table.row({"workers x max-batch",
+             util::fmt("%zu x %zu, %.0f us budget", scfg.num_workers,
+                       scfg.max_batch, scfg.max_delay_us)});
+  table.row({"served accuracy",
+             util::fmt("%.2f %%", total == 0 ? 0.0
+                                             : 100.0 * static_cast<double>(
+                                                           correct.load()) /
+                                                   static_cast<double>(
+                                                       total.load()))});
+  table.row({"offline accuracy (reference)",
+             util::fmt("%.2f %%", 100.0 * ref.accuracy)});
+  table.row({"modeled energy (served)",
+             util::to_string(stats.ledger.total_energy())});
+  table.row({"model version", util::fmt("%llu",
+             static_cast<unsigned long long>(server.model_version()))});
+  if (opt.adapt) {
+    table.row({"checkpoints published", util::fmt("%llu",
+               static_cast<unsigned long long>(stats.checkpoints_published))});
+    table.row({"adapt samples", util::fmt("%llu",
+               static_cast<unsigned long long>(stats.adapt_samples))});
+  } else {
+    table.row({"determinism vs offline",
+               mismatches == 0
+                   ? std::string("bit-identical (") +
+                         util::fmt("%zu/%zu)", total.load(), total.load())
+                   : util::fmt("%zu MISMATCHES", mismatches.load())});
+  }
+  table.print();
+
+  util::Table per_client("per-client accounting");
+  per_client.header({"client", "requests", "avg wait [us]",
+                     "avg latency [ns]", "energy [pJ]"});
+  for (const auto& [id, c] : stats.clients) {
+    const double reqs = static_cast<double>(c.requests);
+    per_client.row({util::fmt("%llu", static_cast<unsigned long long>(id)),
+                    util::fmt("%llu",
+                              static_cast<unsigned long long>(c.requests)),
+                    util::fmt("%.1f", c.queue_wait_us / reqs),
+                    util::fmt("%.1f", c.modeled_latency_ns / reqs),
+                    util::fmt("%.1f", c.modeled_energy_pj)});
+  }
+  per_client.print();
+
+  if (!opt.adapt && mismatches != 0) return 1;
+  return 0;
+}
+
+int cmd_help(const CliOptions&, const std::vector<std::string>& pos) {
+  if (pos.empty()) return help_overview(stdout);
+  const VerbDef* verb = find_verb(pos[0]);
+  if (verb == nullptr) {
+    std::fprintf(stderr, "esam: unknown verb '%s'\n", pos[0].c_str());
+    return help_overview(stderr);
+  }
+  return help_verb(*verb, stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  const auto opt = parse_options(argc, argv, 2);
-  if (!opt) return usage();
+  if (argc < 2) return help_overview(stderr);
+  const std::string name = argv[1];
+  if (name == "--help" || name == "-h") return help_overview(stdout);
+  const VerbDef* verb = find_verb(name);
+  if (verb == nullptr) {
+    std::fprintf(stderr, "esam: unknown verb '%s'\n", name.c_str());
+    return help_overview(stderr);
+  }
+  const auto parsed = parse_args(*verb, argc, argv, 2);
+  if (!parsed) return 2;
   try {
-    if (cmd == "info") return cmd_info();
-    if (cmd == "report") return cmd_report(*opt);
-    if (cmd == "sweep-cells") return cmd_sweep_cells(*opt);
-    if (cmd == "sweep-vprech") return cmd_sweep_vprech();
-    if (cmd == "learn") return cmd_learn();
+    return verb->handler(parsed->opt, parsed->positionals);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "esam: %s\n", e.what());
     return 1;
   }
-  return usage();
 }

@@ -1,0 +1,307 @@
+// Tests for serve::InferenceServer: a served stream must be bit-identical
+// to an offline run of the same checkpoint (any worker count, any client
+// interleaving -- the PR-1 determinism contract carried into serving),
+// shutdown must drain every accepted request, and checkpoint publishes must
+// swap atomically at batch boundaries (a batch never mixes weight versions).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "esam/arch/system.hpp"
+#include "esam/serve/server.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::serve {
+namespace {
+
+nn::SnnNetwork random_snn(const std::vector<std::size_t>& shape,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::BnnNetwork bnn(shape, rng);
+  for (auto& l : bnn.layers()) {
+    for (auto& b : l.bias) b = static_cast<float>(rng.uniform(-5.0, 5.0));
+  }
+  return nn::SnnNetwork::from_bnn(bnn);
+}
+
+std::vector<util::BitVec> random_inputs(std::size_t n, std::size_t width,
+                                        std::uint64_t seed,
+                                        double density = 0.25) {
+  util::Rng rng(seed);
+  std::vector<util::BitVec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::BitVec v(width);
+    for (std::size_t k = 0; k < width; ++k) {
+      if (rng.bernoulli(density)) v.set(k);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(Serve, ServedMatchesOfflineEvaluateAcrossWorkerCounts) {
+  const nn::SnnNetwork snn = random_snn({96, 64, 32, 7}, 401);
+  const auto inputs = random_inputs(48, 96, 402);
+
+  // Offline reference: one pipeline, one stream.
+  arch::SystemSimulator ref_sim(tech::imec3nm(), snn, {});
+  const arch::RunResult ref = ref_sim.run(inputs);
+
+  for (std::size_t workers : {1u, 4u}) {
+    ServerConfig cfg;
+    cfg.num_workers = workers;
+    cfg.max_batch = 8;
+    cfg.max_delay_us = 100.0;
+    InferenceServer server(tech::imec3nm(), {},
+                           io::Checkpoint::from_network(snn), cfg);
+    server.start();
+
+    std::vector<std::future<InferenceResult>> futs;
+    futs.reserve(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      futs.push_back(server.submit(inputs[i], i % 3));
+    }
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      const InferenceResult r = futs[i].get();
+      EXPECT_EQ(r.prediction, ref.predictions[i])
+          << "workers=" << workers << " request " << i;
+      EXPECT_EQ(r.model_version, 1u);
+      EXPECT_GE(r.batch_size, 1u);
+      EXPECT_GT(r.modeled_latency_ns, 0.0);
+      EXPECT_GT(r.modeled_energy_pj, 0.0);
+    }
+    server.stop();
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests_served, inputs.size());
+    EXPECT_GE(stats.batches_dispatched, 1u);
+    EXPECT_EQ(stats.full_dispatches + stats.deadline_dispatches,
+              stats.batches_dispatched);
+    // Per-client accounting covers every request exactly once.
+    std::uint64_t client_requests = 0;
+    double client_energy = 0.0;
+    for (const auto& [id, c] : stats.clients) {
+      client_requests += c.requests;
+      client_energy += c.modeled_energy_pj;
+    }
+    EXPECT_EQ(client_requests, inputs.size());
+    EXPECT_NEAR(client_energy,
+                util::in_picojoules(stats.ledger.total_energy()),
+                1e-6 * client_energy + 1e-9);
+  }
+}
+
+TEST(Serve, ConcurrentClientThreadsAreBitIdenticalToSerial) {
+  const nn::SnnNetwork snn = random_snn({64, 48, 5}, 403);
+  const auto inputs = random_inputs(60, 64, 404);
+
+  arch::SystemSimulator ref_sim(tech::imec3nm(), snn, {});
+  const std::vector<std::size_t> ref = ref_sim.run(inputs).predictions;
+
+  ServerConfig cfg;
+  cfg.num_workers = 3;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 50.0;
+  InferenceServer server(tech::imec3nm(), {},
+                         io::Checkpoint::from_network(snn), cfg);
+  server.start();
+
+  constexpr std::size_t kClients = 5;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::pair<std::size_t, std::future<InferenceResult>>> futs;
+      for (std::size_t i = c; i < inputs.size(); i += kClients) {
+        futs.emplace_back(i, server.submit(inputs[i], c));
+      }
+      for (auto& [i, fut] : futs) {
+        if (fut.get().prediction != ref[i]) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.stop();
+
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_EQ(server.stats().requests_served, inputs.size());
+}
+
+TEST(Serve, CleanShutdownDrainsInFlightRequests) {
+  const nn::SnnNetwork snn = random_snn({64, 32, 4}, 405);
+  const auto inputs = random_inputs(32, 64, 406);
+
+  ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_batch = 64;          // never fills...
+  cfg.max_delay_us = 500000.0; // ...and the deadline is far away:
+  InferenceServer server(tech::imec3nm(), {},
+                         io::Checkpoint::from_network(snn), cfg);
+  server.start();
+
+  // the only way these futures resolve promptly is the shutdown drain.
+  std::vector<std::future<InferenceResult>> futs;
+  for (const auto& in : inputs) futs.push_back(server.submit(in));
+  server.stop();
+
+  for (auto& fut : futs) {
+    EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    (void)fut.get();
+  }
+  EXPECT_EQ(server.stats().requests_served, inputs.size());
+
+  // After stop() the server refuses new work.
+  EXPECT_THROW((void)server.submit(inputs[0]), std::logic_error);
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Serve, DeadlineDispatchesPartialBatches) {
+  const nn::SnnNetwork snn = random_snn({64, 32, 4}, 407);
+  const auto inputs = random_inputs(3, 64, 408);
+
+  ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 64;       // can never fill with 3 requests
+  cfg.max_delay_us = 200.0; // so only the latency budget can dispatch
+  InferenceServer server(tech::imec3nm(), {},
+                         io::Checkpoint::from_network(snn), cfg);
+  server.start();
+
+  std::vector<std::future<InferenceResult>> futs;
+  for (const auto& in : inputs) futs.push_back(server.submit(in));
+  for (auto& fut : futs) {
+    const InferenceResult r = fut.get();  // resolves without stop()
+    EXPECT_LE(r.batch_size, inputs.size());
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.deadline_dispatches, 1u);
+  EXPECT_EQ(stats.full_dispatches, 0u);
+  server.stop();
+}
+
+TEST(Serve, AtomicCheckpointSwapMidStream) {
+  const nn::SnnNetwork model_a = random_snn({64, 48, 6}, 409);
+  const nn::SnnNetwork model_b = random_snn({64, 48, 6}, 410);
+  const auto inputs = random_inputs(40, 64, 411);
+
+  arch::SystemSimulator sim_a(tech::imec3nm(), model_a, {});
+  arch::SystemSimulator sim_b(tech::imec3nm(), model_b, {});
+  const std::vector<std::size_t> ref_a = sim_a.run(inputs).predictions;
+  const std::vector<std::size_t> ref_b = sim_b.run(inputs).predictions;
+
+  ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 50.0;
+  InferenceServer server(tech::imec3nm(), {},
+                         io::Checkpoint::from_network(model_a), cfg);
+  server.start();
+  EXPECT_EQ(server.model_version(), 1u);
+
+  // First half against model A, then an atomic publish, then the rest.
+  std::vector<std::future<InferenceResult>> futs;
+  for (std::size_t i = 0; i < 20; ++i) {
+    futs.push_back(server.submit(inputs[i], 0));
+  }
+  for (std::size_t i = 0; i < 20; ++i) {
+    const InferenceResult r = futs[i].get();
+    EXPECT_EQ(r.model_version, 1u);
+    EXPECT_EQ(r.prediction, ref_a[i]);
+  }
+
+  server.publish(io::Checkpoint::from_network(model_b));
+  EXPECT_EQ(server.model_version(), 2u);
+
+  for (std::size_t i = 20; i < inputs.size(); ++i) {
+    futs.push_back(server.submit(inputs[i], 0));
+  }
+  for (std::size_t i = 20; i < inputs.size(); ++i) {
+    const InferenceResult r = futs[i].get();
+    // Every result is consistent with exactly one published model: the
+    // version it reports fully determines the prediction (no torn batches).
+    if (r.model_version == 1u) {
+      EXPECT_EQ(r.prediction, ref_a[i]);
+    } else {
+      EXPECT_EQ(r.model_version, 2u);
+      EXPECT_EQ(r.prediction, ref_b[i]);
+    }
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().checkpoints_published, 1u);
+
+  // Shape discipline: a mismatched publish is rejected.
+  EXPECT_THROW(server.publish(io::Checkpoint::from_network(
+                   random_snn({64, 32, 6}, 412))),
+               std::invalid_argument);
+}
+
+TEST(Serve, AdaptTrainsAndPublishesNewCheckpoints) {
+  const nn::SnnNetwork snn = random_snn({64, 32, 8}, 413);
+  const auto inputs = random_inputs(24, 64, 414);
+
+  ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 50.0;
+  cfg.adapt = true;
+  cfg.adapt_batch = 8;
+  cfg.trainer.stdp = {.p_potentiation = 0.4, .p_depression = 0.2, .seed = 5};
+  cfg.trainer.update_on_correct = true;
+  InferenceServer server(tech::imec3nm(), {},
+                         io::Checkpoint::from_network(snn), cfg);
+  server.start();
+
+  std::vector<std::future<InferenceResult>> futs;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    futs.push_back(server.submit(inputs[i], 0,
+                                 static_cast<std::uint8_t>(i % 8)));
+  }
+  for (auto& fut : futs) (void)fut.get();
+  server.stop();  // flushes any buffered samples as a final round
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.adapt_samples, inputs.size());
+  EXPECT_GE(stats.checkpoints_published, 1u);
+  EXPECT_EQ(server.model_version(), 1u + stats.checkpoints_published);
+
+  // The published weights actually adapted (update_on_correct guarantees
+  // column updates), and kept the deployed shape.
+  const io::Checkpoint latest = server.current_checkpoint();
+  EXPECT_EQ(latest.network.shape(), snn.shape());
+  std::size_t diff = 0;
+  for (std::size_t l = 0; l < snn.layers().size(); ++l) {
+    diff += nn::weight_diff_count(snn.layers()[l], latest.network.layers()[l]);
+  }
+  EXPECT_GT(diff, 0u);
+}
+
+TEST(Serve, RejectsBadInputsAndDoubleStart) {
+  const nn::SnnNetwork snn = random_snn({64, 32, 4}, 415);
+  InferenceServer server(tech::imec3nm(), {},
+                         io::Checkpoint::from_network(snn), {});
+
+  // Not started yet: no workers to serve a request.
+  EXPECT_THROW((void)server.submit(util::BitVec(64)), std::logic_error);
+
+  server.start();
+  EXPECT_TRUE(server.running());
+  EXPECT_THROW(server.start(), std::logic_error);
+  // Wrong spike width.
+  EXPECT_THROW((void)server.submit(util::BitVec(63)), std::invalid_argument);
+  server.stop();
+  // stop() is idempotent.
+  server.stop();
+
+  // An empty checkpoint is rejected outright.
+  EXPECT_THROW(InferenceServer(tech::imec3nm(), {}, io::Checkpoint{}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esam::serve
