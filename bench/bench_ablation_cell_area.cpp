@@ -28,8 +28,9 @@ int main() {
                util::fmt("%zu", spec.transistor_count),
                util::fmt("%.0f", util::in_picoseconds(
                                      m.average_access_time_full_utilization())),
-               util::fmt("%.1f", util::in_femtojoules(
-                                     m.average_access_energy_full_utilization())),
+               util::fmt("%.1f",
+                         util::in_femtojoules(
+                             m.average_access_energy_full_utilization())),
                util::fmt("%.1f", util::in_microwatts(m.leakage()))});
   }
   table.note("paper: only 4 bitlines match the 4-port cell pitch; a 5th port "

@@ -34,10 +34,11 @@ int main() {
                util::fmt("%zu", m.rw_access_bits()),
                util::fmt("%.0f", util::in_millivolts(m.required_vwd()))});
   }
-  table.note("paper anchors: 6T read+write pair = 157 pJ / 128 pairs "
-             "= 1.227 pJ; 1RW+4R read 9.9/4 = 2.475 ns, write 8.04/4 = 2.01 ns");
+  table.note("paper anchors: 6T read+write pair = 157 pJ / 128 pairs = 1.227 "
+             "pJ; 1RW+4R read 9.9/4 = 2.475 ns, write 8.04/4 = 2.01 ns");
   table.note("6T accesses a full 128-bit row through its row-wise port; the "
-             "multiport cells access 32 bits via the 4:1-muxed transposed port");
+             "multiport cells access 32 bits via the 4:1-muxed transposed "
+             "port");
   table.note("both write and read cost scale with added ports; the first "
              "added port causes the immediate jump (narrower transposed WL)");
   table.print();

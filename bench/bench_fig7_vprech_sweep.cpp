@@ -10,9 +10,9 @@ using namespace esam;
 namespace {
 
 sram::SramTimingModel model_for(std::size_t ports, double vprech_mv) {
-  return sram::SramTimingModel(tech::imec3nm(),
-                               sram::BitcellSpec::of(sram::kAllCellKinds[ports]),
-                               {}, util::millivolts(vprech_mv));
+  return sram::SramTimingModel(
+      tech::imec3nm(), sram::BitcellSpec::of(sram::kAllCellKinds[ports]), {},
+      util::millivolts(vprech_mv));
 }
 
 }  // namespace
@@ -31,7 +31,8 @@ int main() {
     for (std::size_t p = 1; p <= 4; ++p) {
       const auto m = model_for(p, v);
       std::string cell = util::fmt(
-          "%.0f", util::in_picoseconds(m.average_access_time_full_utilization()));
+          "%.0f",
+          util::in_picoseconds(m.average_access_time_full_utilization()));
       if (m.precharge_stalled()) cell += " *";
       row.push_back(std::move(cell));
     }
@@ -62,10 +63,13 @@ int main() {
   util::Table rules("Fig. 7 corollary -- the paper's Vprech selection rules");
   rules.header({"claim", "1 port", "2 ports", "3 ports", "4 ports"});
   {
-    std::vector<std::string> saving{"500 vs 700 mV energy saving (paper: >=43%)"};
-    std::vector<std::string> penalty{"500 vs 700 mV time penalty (paper: <=19%)"};
-    std::vector<std::string> extra{"400 vs 500 mV energy delta (paper: 1-2p save "
-                                   "up to 10% more; 3-4p increase)"};
+    std::vector<std::string> saving{
+        "500 vs 700 mV energy saving (paper: >=43%)"};
+    std::vector<std::string> penalty{
+        "500 vs 700 mV time penalty (paper: <=19%)"};
+    std::vector<std::string> extra{
+        "400 vs 500 mV energy delta (paper: 1-2p save up to 10% more; 3-4p "
+        "increase)"};
     for (std::size_t p = 1; p <= 4; ++p) {
       const double e400 = util::in_femtojoules(
           model_for(p, 400).average_access_energy_full_utilization());

@@ -30,7 +30,8 @@ double wall_seconds_of_run(core::EsamSystem& system, std::size_t inferences,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::print_setup_header("Figure 8: system-level comparison of cell options");
+  bench::print_setup_header(
+      "Figure 8: system-level comparison of cell options");
 
   const bool smoke = bench::smoke_mode(argc, argv);
   const std::size_t inferences =
@@ -53,11 +54,13 @@ int main(int argc, char** argv) {
                                : core::ModelConfig{};
   mc.verbose = true;
   const core::TrainedModel model = core::TrainedModel::create(mc);
-  std::printf("dataset: %s (%zu train / %zu test, %.1f%% input spike density)\n",
-              model.data.train.source.c_str(), model.data.train.size(),
-              model.data.test.size(), 100.0 * model.data.test.spike_density());
-  std::printf("BNN accuracy: train %.2f%%, test %.2f%% (paper: 97.64%% on MNIST)\n\n",
-              100.0 * model.bnn_train_accuracy, 100.0 * model.bnn_test_accuracy);
+  std::printf(
+      "dataset: %s (%zu train / %zu test, %.1f%% input spike density)\n",
+      model.data.train.source.c_str(), model.data.train.size(),
+      model.data.test.size(), 100.0 * model.data.test.spike_density());
+  std::printf(
+      "BNN accuracy: train %.2f%%, test %.2f%% (paper: 97.64%% on MNIST)\n\n",
+      100.0 * model.bnn_train_accuracy, 100.0 * model.bnn_test_accuracy);
 
   util::Table table("Fig. 8 -- system level, 768:256:256:256:10 Binary-SNN");
   table.header({"cell", "clock [MHz]", "throughput [MInf/s]",

@@ -51,8 +51,9 @@ int main(int argc, char** argv) {
                        : util::fmt("%.1fx", base_update_ns /
                                                 util::in_nanoseconds(rd.time)),
                is_base ? "1.0x (ref)"
-                       : util::fmt("%.1fx", base_write_ns /
-                                                util::in_nanoseconds(wr.time))});
+                       : util::fmt("%.1fx",
+                                   base_write_ns /
+                                       util::in_nanoseconds(wr.time))});
   }
   table.note(util::fmt(
       "paper: 6T baseline 2 x 128 cycles = %.1f ns, %.0f pJ; 1RW+4R column "

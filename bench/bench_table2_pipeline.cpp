@@ -33,7 +33,8 @@ int main() {
         util::in_nanoseconds(sram_model.inference_read_time()) +
         util::in_nanoseconds(neuron_model.accumulate_delay());
     const double clock_ns = std::max(arb_ns, stage_ns);
-    arb_row.push_back(bench::with_paper(arb_ns, tech::calib::kTable2ArbiterNs[i]));
+    arb_row.push_back(
+        bench::with_paper(arb_ns, tech::calib::kTable2ArbiterNs[i]));
     sram_row.push_back(
         bench::with_paper(stage_ns, tech::calib::kTable2SramNeuronNs[i]));
     clock_row.push_back(util::fmt("%.2f", clock_ns));

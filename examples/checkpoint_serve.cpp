@@ -186,11 +186,12 @@ int main(int argc, char** argv) {
               100.0 * static_cast<double>(served.correct) /
                   static_cast<double>(served.total),
               served.matched_reference, served.total);
-  std::printf("  %llu batches (%llu full, %llu deadline), modeled energy %s\n\n",
-              static_cast<unsigned long long>(s1.batches_dispatched),
-              static_cast<unsigned long long>(s1.full_dispatches),
-              static_cast<unsigned long long>(s1.deadline_dispatches),
-              util::to_string(s1.ledger.total_energy()).c_str());
+  std::printf(
+      "  %llu batches (%llu full, %llu deadline), modeled energy %s\n\n",
+      static_cast<unsigned long long>(s1.batches_dispatched),
+      static_cast<unsigned long long>(s1.full_dispatches),
+      static_cast<unsigned long long>(s1.deadline_dispatches),
+      util::to_string(s1.ledger.total_energy()).c_str());
 
   // Phase 3: the input wiring drifts; serve the drifted stream with
   // background adaptation -- labeled requests train a mutable copy that is

@@ -41,11 +41,12 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < 8 && i < model.data.test.size(); ++i) {
     std::vector<util::BitVec> one{model.data.test.spikes[i]};
     const arch::RunResult r = sim.run(one);
-    std::printf("  digit %u -> predicted %zu %s (%zu input spikes, %llu cycles)\n",
-                model.data.test.labels[i], r.predictions[0],
-                r.predictions[0] == model.data.test.labels[i] ? "ok" : "WRONG",
-                model.data.test.spikes[i].count(),
-                static_cast<unsigned long long>(r.cycles));
+    std::printf(
+        "  digit %u -> predicted %zu %s (%zu input spikes, %llu cycles)\n",
+        model.data.test.labels[i], r.predictions[0],
+        r.predictions[0] == model.data.test.labels[i] ? "ok" : "WRONG",
+        model.data.test.spikes[i].count(),
+        static_cast<unsigned long long>(r.cycles));
   }
   return 0;
 }

@@ -62,10 +62,11 @@ int main() {
               cfg.outputs);
   std::printf("  clock period : %s (Table 2, 1RW+4R)\n",
               util::to_string(tile.clock_period()).c_str());
-  std::printf("  energy spent : %s  (SRAM reads %s, neurons %s)\n",
-              util::to_string(ledger.total_energy()).c_str(),
-              util::to_string(ledger.energy(util::EnergyCategory::kSramRead)).c_str(),
-              util::to_string(ledger.energy(util::EnergyCategory::kNeuron)).c_str());
+  std::printf(
+      "  energy spent : %s  (SRAM reads %s, neurons %s)\n",
+      util::to_string(ledger.total_energy()).c_str(),
+      util::to_string(ledger.energy(util::EnergyCategory::kSramRead)).c_str(),
+      util::to_string(ledger.energy(util::EnergyCategory::kNeuron)).c_str());
   std::printf("  tile area    : %s, leakage %s\n",
               util::to_string(tile.area()).c_str(),
               util::to_string(tile.leakage()).c_str());

@@ -179,7 +179,8 @@ class EsamSystem {
 
   /// Snapshots the live SRAM weights (after any in-field adaptation) into a
   /// checkpoint ready for save().
-  [[nodiscard]] io::Checkpoint make_checkpoint(io::CheckpointMeta meta = {}) const;
+  [[nodiscard]] io::Checkpoint make_checkpoint(
+      io::CheckpointMeta meta = {}) const;
 
   /// The deployed baseline: the weights loaded at construction or by the
   /// last deploy() (not the live, possibly adapted, SRAM contents -- use

@@ -86,7 +86,8 @@ struct Checkpoint {
   /// In-memory encode/decode (the file format without the file; used by the
   /// tests to corrupt specific bytes).
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  [[nodiscard]] static Checkpoint decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] static Checkpoint decode(
+      const std::vector<std::uint8_t>& bytes);
 };
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte range.

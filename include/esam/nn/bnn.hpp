@@ -40,7 +40,8 @@ struct BnnLayer {
   [[nodiscard]] float binary_weight(std::size_t out, std::size_t in) const;
 
   /// Pre-activation with binarized weights: a = Wb x + b.
-  [[nodiscard]] std::vector<float> preactivate(const std::vector<float>& x) const;
+  [[nodiscard]] std::vector<float> preactivate(
+      const std::vector<float>& x) const;
 };
 
 /// Sign activation in {-1,+1} with sign(0) := +1 (matches the SNN mapping
@@ -94,6 +95,14 @@ struct TrainConfig {
   std::uint64_t seed = 42;
   /// Progress callback interval in batches (0 = silent).
   std::size_t log_every = 0;
+  /// Sink for progress lines when log_every != 0. Defaults to stderr --
+  /// the library never writes to stdout (esam_lint rule no-stdout), so a
+  /// CLI embedding the trainer keeps a clean report stream. A plain
+  /// pointer + context (not std::function) keeps the config trivially
+  /// copyable and clear of GCC 12's std::function-in-aggregate
+  /// -Wmaybe-uninitialized false positive under -Werror.
+  void (*log_sink)(const std::string& line, void* ctx) = nullptr;
+  void* log_ctx = nullptr;
 };
 
 class BnnTrainer {

@@ -28,7 +28,9 @@ class Matrix {
   [[nodiscard]] float at(std::size_t r, std::size_t c) const {
     return data_[r * cols_ + c];
   }
-  [[nodiscard]] float* row_data(std::size_t r) { return data_.data() + r * cols_; }
+  [[nodiscard]] float* row_data(std::size_t r) {
+    return data_.data() + r * cols_;
+  }
   [[nodiscard]] const float* row_data(std::size_t r) const {
     return data_.data() + r * cols_;
   }

@@ -33,13 +33,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -47,6 +45,8 @@
 #include "esam/arch/system.hpp"
 #include "esam/io/checkpoint.hpp"
 #include "esam/learning/online_trainer.hpp"
+#include "esam/util/sync.hpp"
+#include "esam/util/thread_annotations.hpp"
 
 namespace esam::serve {
 
@@ -119,14 +119,14 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Spawns the worker pool (and the adaptation thread when cfg.adapt).
-  void start();
+  void start() ESAM_EXCLUDES(queue_mutex_, adapt_mutex_);
 
   /// Clean shutdown: stops accepting, drains the queue (every accepted
   /// request's future is fulfilled), flushes pending adaptation samples,
   /// joins all threads. Idempotent; also invoked by the destructor.
-  void stop();
+  void stop() ESAM_EXCLUDES(queue_mutex_, adapt_mutex_);
 
-  [[nodiscard]] bool running() const;
+  [[nodiscard]] bool running() const ESAM_EXCLUDES(queue_mutex_);
 
   /// Enqueues one request; any thread may call this. The future resolves
   /// when a worker serves the request's batch. A label makes the sample
@@ -135,18 +135,21 @@ class InferenceServer {
   /// when the server is not accepting (not started or stopped).
   std::future<InferenceResult> submit(util::BitVec input,
                                       std::uint64_t client_id = 0,
-                                      std::optional<std::uint8_t> label = {});
+                                      std::optional<std::uint8_t> label = {})
+      ESAM_EXCLUDES(queue_mutex_);
 
   /// Atomically publishes new weights (shape must match the deployed
   /// model). Workers pick the new version up at their next batch boundary.
-  void publish(io::Checkpoint ckpt);
+  void publish(io::Checkpoint ckpt)
+      ESAM_EXCLUDES(model_mutex_, stats_mutex_);
 
   /// The latest published checkpoint / its version (1 = deployment).
-  [[nodiscard]] io::Checkpoint current_checkpoint() const;
+  [[nodiscard]] io::Checkpoint current_checkpoint() const
+      ESAM_EXCLUDES(model_mutex_);
   [[nodiscard]] std::uint64_t model_version() const;
 
   /// Snapshot of the aggregate + per-client accounting.
-  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] ServerStats stats() const ESAM_EXCLUDES(stats_mutex_);
 
  private:
   struct Request {
@@ -163,13 +166,17 @@ class InferenceServer {
     std::uint64_t version = 0;
   };
 
-  void worker_loop();
-  void adapt_loop();
+  void worker_loop()
+      ESAM_EXCLUDES(queue_mutex_, model_mutex_, adapt_mutex_, stats_mutex_);
+  void adapt_loop()
+      ESAM_EXCLUDES(queue_mutex_, model_mutex_, adapt_mutex_, stats_mutex_);
   /// Runs one dynamic batch on a worker's own pipeline, fulfilling every
   /// request's promise and folding the batch into the stats.
   void serve_batch(arch::SystemSimulator& sim, std::uint64_t& local_version,
-                   std::vector<Request>& batch, bool full_batch);
-  [[nodiscard]] std::shared_ptr<const Published> snapshot_model() const;
+                   std::vector<Request>& batch, bool full_batch)
+      ESAM_EXCLUDES(queue_mutex_, model_mutex_, adapt_mutex_, stats_mutex_);
+  [[nodiscard]] std::shared_ptr<const Published> snapshot_model() const
+      ESAM_EXCLUDES(model_mutex_);
 
   const tech::TechnologyParams* node_;
   arch::SystemConfig hw_;
@@ -178,25 +185,28 @@ class InferenceServer {
 
   /// Published-model slot: shared_ptr swapped under model_mutex_; version_
   /// doubles as the lock-free staleness probe for workers.
-  mutable std::mutex model_mutex_;
-  std::shared_ptr<const Published> published_;
+  mutable util::Mutex model_mutex_;
+  std::shared_ptr<const Published> published_ ESAM_GUARDED_BY(model_mutex_);
   std::atomic<std::uint64_t> version_{1};
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
-  bool accepting_ = false;
-  bool stopping_ = false;
-  std::uint64_t next_request_id_ = 1;
+  mutable util::Mutex queue_mutex_;
+  util::CondVar queue_cv_;
+  std::deque<Request> queue_ ESAM_GUARDED_BY(queue_mutex_);
+  bool accepting_ ESAM_GUARDED_BY(queue_mutex_) = false;
+  bool stopping_ ESAM_GUARDED_BY(queue_mutex_) = false;
+  std::uint64_t next_request_id_ ESAM_GUARDED_BY(queue_mutex_) = 1;
 
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
+  mutable util::Mutex stats_mutex_;
+  ServerStats stats_ ESAM_GUARDED_BY(stats_mutex_);
 
-  std::mutex adapt_mutex_;
-  std::condition_variable adapt_cv_;
-  std::vector<std::pair<util::BitVec, std::uint8_t>> adapt_buffer_;
-  bool adapt_stop_ = false;
+  util::Mutex adapt_mutex_;
+  util::CondVar adapt_cv_;
+  std::vector<std::pair<util::BitVec, std::uint8_t>> adapt_buffer_
+      ESAM_GUARDED_BY(adapt_mutex_);
+  bool adapt_stop_ ESAM_GUARDED_BY(adapt_mutex_) = false;
 
+  /// Touched only by the start()/stop() thread (never by the workers
+  /// themselves), so no lock guards the thread handles.
   std::vector<std::thread> workers_;
   std::thread adapt_thread_;
 };

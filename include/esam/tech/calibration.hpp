@@ -30,7 +30,7 @@ inline constexpr std::array<double, 5> kCellAreaMultiplier{1.0, 1.5, 1.875,
 /// bitline pitch: only 4 RBLs match the 4-port cell pitch.
 inline constexpr double kFifthPortAreaPenalty = 0.875;
 
-// --- Table 2, pipeline stage delays (ns, includes slack) ----------------------
+// --- Table 2, pipeline stage delays (ns, includes slack) ---------------------
 
 /// Arbiter stage for 1RW .. 1RW+4R (128-wide, 4-port, tree encoder).
 inline constexpr std::array<double, 5> kTable2ArbiterNs{1.01, 1.01, 1.04, 1.03,
@@ -39,7 +39,7 @@ inline constexpr std::array<double, 5> kTable2ArbiterNs{1.01, 1.01, 1.04, 1.03,
 inline constexpr std::array<double, 5> kTable2SramNeuronNs{0.69, 1.08, 1.18,
                                                            1.14, 1.23};
 
-// --- Section 3.3, arbiter critical path ---------------------------------------
+// --- Section 3.3, arbiter critical path --------------------------------------
 
 /// Flat 128-wide 4-port priority-encoder critical path (">1100 ps").
 inline constexpr double kArbiterFlatCriticalPathPs = 1100.0;
@@ -47,7 +47,7 @@ inline constexpr double kArbiterFlatCriticalPathPs = 1100.0;
 inline constexpr double kArbiterTreeCriticalPathPs = 800.0;
 inline constexpr double kArbiterTreeAreaOverhead = 0.080;
 
-// --- Section 4.4.1, online learning -------------------------------------------
+// --- Section 4.4.1, online learning ------------------------------------------
 
 /// Baseline 6T column update: 2 x 128 cycles, 257.8 ns, 157 pJ.
 inline constexpr double kBaselineColumnUpdateNs = 257.8;
@@ -66,7 +66,7 @@ inline constexpr double kColumnReadGain = 26.0;
 inline constexpr double kColumnWriteGain = 19.5;
 inline constexpr double kBaselineColumnWriteOnlyNs = 128.0 * 1.23;
 
-// --- Modelling split of Table 2 (our choice, documented in DESIGN.md) ---------
+// --- Modelling split of Table 2 (our choice, documented in DESIGN.md) --------
 //
 // Table 2 reports only the *sum* of the SRAM read path and the neuron
 // accumulate path. We split it so the neuron delay follows an adder-tree
@@ -80,7 +80,7 @@ inline constexpr std::array<double, 5> kNeuronStageNs{0.094, 0.095, 0.114,
 inline constexpr std::array<double, 5> kSramReadPathNs{0.596, 0.985, 1.066,
                                                        1.024, 1.095};
 
-// --- Transposed-port per-access anchors (derived from section 4.4.1) ----------
+// --- Transposed-port per-access anchors (derived from section 4.4.1) ---------
 //
 // The 6T baseline column update costs 2 x 128 cycles = 257.8 ns and 157 pJ,
 // i.e. read + write energy = 157 pJ / 128 pairs = 1.2266 pJ per row
@@ -95,7 +95,7 @@ inline constexpr double kTrans6TWritePj = 0.7365625;  // pair sum * 128 = 157 pJ
 inline constexpr double kTrans4RReadNs = 2.475;    // 9.9 ns / 4
 inline constexpr double kTrans4RWriteNs = 2.01;    // 8.04 ns / 4
 
-// --- Section 4.1 / Table 1, write assist --------------------------------------
+// --- Section 4.1 / Table 1, write assist -------------------------------------
 
 /// NBL assist limit: if the required VWD is below -400 mV the array is
 /// considered non-yielding; this limits arrays to <= 128 rows/columns.
@@ -103,7 +103,7 @@ inline constexpr double kMaxNegativeBitlineMv = -400.0;
 inline constexpr std::size_t kMaxArrayRows = 128;
 inline constexpr std::size_t kMaxArrayCols = 128;
 
-// --- Figure 7, precharge-voltage trade-off ------------------------------------
+// --- Figure 7, precharge-voltage trade-off -----------------------------------
 
 /// Selecting Vprech = 500 mV saves >= 43 % access energy at <= 19 % higher
 /// access time vs 700 mV, for all port counts.
@@ -113,7 +113,7 @@ inline constexpr double kVprech500MaxTimePenalty = 0.19;
 /// for 3-4 ports (slow precharge lets leakage dominate).
 inline constexpr double kVprech400ExtraSaving12Ports = 0.10;
 
-// --- Abstract / Section 4.4.2, array- and system-level headline ---------------
+// --- Abstract / Section 4.4.2, array- and system-level headline --------------
 
 /// Array-level gains of the multiport design vs single-port (128x128).
 inline constexpr double kArraySpeedup = 3.1;

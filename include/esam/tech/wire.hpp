@@ -21,7 +21,8 @@ class Wire {
   /// width vs minimum (0.5 = half-width wire, doubling the resistance);
   /// capacitance is treated as width-independent (sidewall dominated at
   /// advanced nodes).
-  Wire(const TechnologyParams& tech, double length_um, double width_factor = 1.0);
+  Wire(const TechnologyParams& tech, double length_um,
+       double width_factor = 1.0);
 
   [[nodiscard]] Resistance resistance() const { return res_; }
   [[nodiscard]] Capacitance capacitance() const { return cap_; }

@@ -116,13 +116,16 @@ class BitVec {
   [[nodiscard]] std::string to_string() const;
 
   /// Raw word storage (little-endian bit order within each word).
-  [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
 
  private:
   void check_index(std::size_t i) const {
     if (i >= size_) {
       throw std::out_of_range("BitVec index " + std::to_string(i) +
-                              " out of range for size " + std::to_string(size_));
+                              " out of range for size " +
+                              std::to_string(size_));
     }
   }
   void check_same_size(const BitVec& o) const {

@@ -1,0 +1,112 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable that carry the clang thread-safety capability
+// attributes (see esam/util/thread_annotations.hpp).
+//
+// libstdc++'s primitives are unannotated, so guarding a member with a raw
+// std::mutex leaves the analysis blind. Library code uses these wrappers
+// instead; they compile to the exact same code (every method is a
+// single forwarded call) but make lock discipline a compile-time property
+// under clang -Wthread-safety:
+//
+//   util::Mutex mu_;
+//   int value_ ESAM_GUARDED_BY(mu_);
+//
+//   void set(int v) ESAM_EXCLUDES(mu_) {
+//     util::MutexLock lock(mu_);
+//     value_ = v;  // fine: lock held
+//   }
+//   // value_ = 7;  // error under clang: writing without holding mu_
+//
+// util::UniqueLock is the relockable variant for condition-variable waits
+// (util::CondVar takes it by reference, like std::condition_variable and
+// std::unique_lock).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "esam/util/thread_annotations.hpp"
+
+namespace esam::util {
+
+/// Annotated std::mutex. The inner mutex is reachable only through the
+/// locking methods and CondVar, so the capability cannot be bypassed.
+class ESAM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ESAM_ACQUIRE() { m_.lock(); }
+  void unlock() ESAM_RELEASE() { m_.unlock(); }
+  bool try_lock() ESAM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class UniqueLock;
+
+  std::mutex m_;  // esam-lint: allow(mutex-needs-guard) -- is the capability
+};
+
+/// std::lock_guard equivalent: acquires in the constructor, releases in the
+/// destructor, no unlocking in between.
+class ESAM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ESAM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ESAM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock equivalent: scoped like MutexLock but relockable, and
+/// accepted by CondVar::wait*. Starts locked.
+class ESAM_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ESAM_ACQUIRE(mu) : lk_(mu.m_) {}
+  /// Releases the mutex if still held (std::unique_lock semantics).
+  ~UniqueLock() ESAM_RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ESAM_ACQUIRE() { lk_.lock(); }
+  void unlock() ESAM_RELEASE() { lk_.unlock(); }
+
+ private:
+  friend class CondVar;
+
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Annotated std::condition_variable. wait() releases and reacquires the
+/// lock internally; from the analysis's point of view the capability is
+/// held across the call, which matches what the caller may assume at the
+/// call boundaries. Use explicit `while (!predicate) wait(...)` loops
+/// rather than predicate lambdas: the analysis checks the guarded reads in
+/// the loop condition, whereas a lambda body would escape it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.lk_); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.lk_, tp);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace esam::util

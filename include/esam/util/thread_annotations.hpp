@@ -1,0 +1,72 @@
+// Clang thread-safety-analysis capability macros (no-ops elsewhere).
+//
+// The project's concurrency contract -- every shared mutable member is
+// guarded by a named mutex, and every function that touches one either
+// holds the lock (ESAM_REQUIRES) or promises not to (ESAM_EXCLUDES) -- is
+// machine-checked by clang's `-Wthread-safety` analysis. GCC does not
+// implement the analysis, so the macros expand to nothing there; the
+// annotations are pure documentation under GCC and hard errors under the
+// clang CI lane (which builds with -Wthread-safety -Werror).
+//
+// libstdc++'s std::mutex is not annotated as a capability, so raw standard
+// primitives are invisible to the analysis. Use the annotated wrappers in
+// esam/util/sync.hpp (util::Mutex, util::MutexLock, util::UniqueLock,
+// util::CondVar) instead of std::mutex/std::lock_guard in library code;
+// the in-tree lint (esam_lint) enforces that every declared mutex member
+// has at least one ESAM_GUARDED_BY user.
+//
+// Macro names and semantics follow the clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+#pragma once
+
+#if defined(__clang__) && !defined(ESAM_NO_THREAD_SAFETY_ANALYSIS)
+#define ESAM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ESAM_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define ESAM_CAPABILITY(x) ESAM_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define ESAM_SCOPED_CAPABILITY ESAM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member may only be touched while `x` is held.
+#define ESAM_GUARDED_BY(x) ESAM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee may only be touched while `x` is held (the pointer is free).
+#define ESAM_PT_GUARDED_BY(x) ESAM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function acquires the capability (and did not hold it on entry).
+#define ESAM_ACQUIRE(...) \
+  ESAM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define ESAM_RELEASE(...) \
+  ESAM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `ret`.
+#define ESAM_TRY_ACQUIRE(...) \
+  ESAM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability for the duration of the call.
+#define ESAM_REQUIRES(...) \
+  ESAM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function takes it itself);
+/// this is what makes self-deadlock a compile error.
+#define ESAM_EXCLUDES(...) ESAM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (deadlock prevention across mutexes).
+#define ESAM_ACQUIRED_BEFORE(...) \
+  ESAM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ESAM_ACQUIRED_AFTER(...) \
+  ESAM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define ESAM_RETURN_CAPABILITY(x) ESAM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model; use sparingly and
+/// leave a comment explaining why the exclusion is sound.
+#define ESAM_NO_THREAD_SAFETY_ANALYSIS \
+  ESAM_THREAD_ANNOTATION_(no_thread_safety_analysis)

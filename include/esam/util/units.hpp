@@ -98,25 +98,43 @@ constexpr Voltage volts(double v) { return Voltage::from_base(v); }
 constexpr Voltage millivolts(double v) { return Voltage::from_base(v * 1e-3); }
 
 constexpr Current amperes(double v) { return Current::from_base(v); }
-constexpr Current microamperes(double v) { return Current::from_base(v * 1e-6); }
+constexpr Current microamperes(double v) {
+  return Current::from_base(v * 1e-6);
+}
 constexpr Current nanoamperes(double v) { return Current::from_base(v * 1e-9); }
 
 constexpr Capacitance farads(double v) { return Capacitance::from_base(v); }
-constexpr Capacitance picofarads(double v) { return Capacitance::from_base(v * 1e-12); }
-constexpr Capacitance femtofarads(double v) { return Capacitance::from_base(v * 1e-15); }
-constexpr Capacitance attofarads(double v) { return Capacitance::from_base(v * 1e-18); }
+constexpr Capacitance picofarads(double v) {
+  return Capacitance::from_base(v * 1e-12);
+}
+constexpr Capacitance femtofarads(double v) {
+  return Capacitance::from_base(v * 1e-15);
+}
+constexpr Capacitance attofarads(double v) {
+  return Capacitance::from_base(v * 1e-18);
+}
 
 constexpr Resistance ohms(double v) { return Resistance::from_base(v); }
-constexpr Resistance kiloohms(double v) { return Resistance::from_base(v * 1e3); }
+constexpr Resistance kiloohms(double v) {
+  return Resistance::from_base(v * 1e3);
+}
 
 constexpr Frequency hertz(double v) { return Frequency::from_base(v); }
-constexpr Frequency kilohertz(double v) { return Frequency::from_base(v * 1e3); }
-constexpr Frequency megahertz(double v) { return Frequency::from_base(v * 1e6); }
-constexpr Frequency gigahertz(double v) { return Frequency::from_base(v * 1e9); }
+constexpr Frequency kilohertz(double v) {
+  return Frequency::from_base(v * 1e3);
+}
+constexpr Frequency megahertz(double v) {
+  return Frequency::from_base(v * 1e6);
+}
+constexpr Frequency gigahertz(double v) {
+  return Frequency::from_base(v * 1e9);
+}
 
 constexpr Area square_metres(double v) { return Area::from_base(v); }
 constexpr Area square_microns(double v) { return Area::from_base(v * 1e-12); }
-constexpr Area square_millimetres(double v) { return Area::from_base(v * 1e-6); }
+constexpr Area square_millimetres(double v) {
+  return Area::from_base(v * 1e-6);
+}
 
 // --- named unit accessors ----------------------------------------------------
 
@@ -155,12 +173,18 @@ constexpr double in_square_millimetres(Area a) { return a.base() * 1e6; }
 // --- dimensional algebra -----------------------------------------------------
 
 /// P = E / t
-constexpr Power operator/(Energy e, Time t) { return watts(e.base() / t.base()); }
+constexpr Power operator/(Energy e, Time t) {
+  return watts(e.base() / t.base());
+}
 /// E = P * t
-constexpr Energy operator*(Power p, Time t) { return joules(p.base() * t.base()); }
+constexpr Energy operator*(Power p, Time t) {
+  return joules(p.base() * t.base());
+}
 constexpr Energy operator*(Time t, Power p) { return p * t; }
 /// tau = R * C
-constexpr Time operator*(Resistance r, Capacitance c) { return seconds(r.base() * c.base()); }
+constexpr Time operator*(Resistance r, Capacitance c) {
+  return seconds(r.base() * c.base());
+}
 constexpr Time operator*(Capacitance c, Resistance r) { return r * c; }
 /// f = 1 / t
 constexpr Frequency inverse(Time t) { return hertz(1.0 / t.base()); }
@@ -168,7 +192,8 @@ constexpr Frequency inverse(Time t) { return hertz(1.0 / t.base()); }
 constexpr Time period(Frequency f) { return seconds(1.0 / f.base()); }
 /// Q = C * V ; switching charge-transfer energy drawn from a supply at `v`:
 /// E = C * V_swing * V_supply (equals C*V^2 for full-rail swing).
-constexpr Energy switching_energy(Capacitance c, Voltage swing, Voltage supply) {
+constexpr Energy switching_energy(Capacitance c, Voltage swing,
+                                  Voltage supply) {
   return joules(c.base() * swing.base() * supply.base());
 }
 /// Energy stored on a capacitor: E = 1/2 C V^2.
@@ -176,9 +201,13 @@ constexpr Energy stored_energy(Capacitance c, Voltage v) {
   return joules(0.5 * c.base() * v.base() * v.base());
 }
 /// I = V / R
-constexpr Current operator/(Voltage v, Resistance r) { return amperes(v.base() / r.base()); }
+constexpr Current operator/(Voltage v, Resistance r) {
+  return amperes(v.base() / r.base());
+}
 /// P = V * I
-constexpr Power operator*(Voltage v, Current i) { return watts(v.base() * i.base()); }
+constexpr Power operator*(Voltage v, Current i) {
+  return watts(v.base() * i.base());
+}
 
 // --- formatting --------------------------------------------------------------
 

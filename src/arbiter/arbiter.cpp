@@ -11,7 +11,9 @@ MultiPortArbiter::MultiPortArbiter(std::size_t width, std::size_t ports,
       ports_(ports),
       policy_(policy),
       pending_(width) {
-  if (ports == 0) throw std::invalid_argument("MultiPortArbiter: ports must be > 0");
+  if (ports == 0) {
+    throw std::invalid_argument("MultiPortArbiter: ports must be > 0");
+  }
 }
 
 void MultiPortArbiter::request(const BitVec& spikes) {

@@ -22,7 +22,10 @@ TrainedModel TrainedModel::create(const ModelConfig& cfg) {
       out.bnn = std::move(cached);
       loaded = true;
       if (cfg.verbose) {
-        std::printf("[esam] loaded cached BNN from %s\n", cfg.cache_path.c_str());
+        // Progress goes to stderr: the library never claims stdout
+        // (esam_lint rule no-stdout; the CLI reports there).
+        std::fprintf(stderr, "[esam] loaded cached BNN from %s\n",
+                     cfg.cache_path.c_str());
       }
     }
   }
@@ -31,9 +34,10 @@ TrainedModel TrainedModel::create(const ModelConfig& cfg) {
     out.bnn = nn::BnnNetwork(cfg.shape, rng);
     nn::BnnTrainer trainer(out.bnn, cfg.train);
     if (cfg.verbose) {
-      std::printf("[esam] training BNN %zu samples x %zu epochs on %s data\n",
-                  out.data.train.size(), cfg.train.epochs,
-                  out.data.train.source.c_str());
+      std::fprintf(stderr,
+                   "[esam] training BNN %zu samples x %zu epochs on %s data\n",
+                   out.data.train.size(), cfg.train.epochs,
+                   out.data.train.source.c_str());
     }
     trainer.fit(out.data.train.bipolar, out.data.train.labels);
     if (!cfg.cache_path.empty()) out.bnn.save(cfg.cache_path);
@@ -231,7 +235,8 @@ OnlineReport EsamSystem::learn_online(const OnlineOptions& opt) {
     rep.weight_bits_changed += nn::weight_diff_count(
         sim_.tile(t).export_layer(), deployed[t]);
   }
-  rep.energy_per_inf_pj = util::in_picojoules(r.final_eval.energy_per_inference);
+  rep.energy_per_inf_pj =
+      util::in_picojoules(r.final_eval.energy_per_inference);
   const double total_pj =
       util::in_picojoules(r.final_eval.ledger.total_energy());
   rep.learning_energy_share =

@@ -38,7 +38,9 @@ Dataset load_mnist_idx(const std::string& images_path,
   const std::uint32_t magic_l = read_be32(fl);
   if (magic_l != 2049) throw std::runtime_error("bad IDX label magic");
   const std::uint32_t count_l = read_be32(fl);
-  if (count_i != count_l) throw std::runtime_error("IDX image/label count mismatch");
+  if (count_i != count_l) {
+    throw std::runtime_error("IDX image/label count mismatch");
+  }
 
   std::size_t n = count_i;
   if (limit != 0 && limit < n) n = limit;
@@ -207,8 +209,9 @@ TrainTestSplit load_default_split(std::size_t n_train, std::size_t n_test,
   if (dir != nullptr) {
     try {
       const std::string base(dir);
-      Dataset train = load_mnist_idx(base + "/train-images-idx3-ubyte",
-                                     base + "/train-labels-idx1-ubyte", n_train);
+      Dataset train =
+          load_mnist_idx(base + "/train-images-idx3-ubyte",
+                         base + "/train-labels-idx1-ubyte", n_train);
       Dataset test = load_mnist_idx(base + "/t10k-images-idx3-ubyte",
                                     base + "/t10k-labels-idx1-ubyte", n_test);
       return {prepare(train, "mnist-idx"), prepare(test, "mnist-idx")};
@@ -217,7 +220,8 @@ TrainTestSplit load_default_split(std::size_t n_train, std::size_t n_test,
     }
   }
   Dataset train = generate_synthetic_digits(n_train, seed);
-  Dataset test = generate_synthetic_digits(n_test, seed ^ 0xdead'beef'cafe'f00dULL);
+  Dataset test =
+      generate_synthetic_digits(n_test, seed ^ 0xdead'beef'cafe'f00dULL);
   return {prepare(train, "synthetic"), prepare(test, "synthetic")};
 }
 

@@ -7,7 +7,8 @@ namespace esam::learning {
 StochasticStdp::StochasticStdp(StdpConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   if (cfg.p_potentiation < 0.0 || cfg.p_potentiation > 1.0 ||
       cfg.p_depression < 0.0 || cfg.p_depression > 1.0) {
-    throw std::invalid_argument("StochasticStdp: probabilities must be in [0,1]");
+    throw std::invalid_argument(
+        "StochasticStdp: probabilities must be in [0,1]");
   }
 }
 

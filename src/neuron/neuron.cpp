@@ -44,7 +44,8 @@ void IfNeuron::set_vth(std::int32_t vth) {
   const std::int32_t t_max = (std::int32_t{1} << (cfg_.vth_bits - 1)) - 1;
   const std::int32_t t_min = -(std::int32_t{1} << (cfg_.vth_bits - 1));
   if (vth > t_max || vth < t_min) {
-    throw std::invalid_argument("IfNeuron: Vth does not fit the t-bit register");
+    throw std::invalid_argument(
+        "IfNeuron: Vth does not fit the t-bit register");
   }
   vth_ = vth;
 }
@@ -91,8 +92,9 @@ util::Time NeuronArrayModel::accumulate_delay() const {
   const std::size_t idx = std::min<std::size_t>(ports_, 4);
   const double anchor_ps = tech::calib::kNeuronStageNs[idx] * 1e3;
   const double raw_anchor_ps =
-      kSetupPs + fo4 * (kDecodeFo4 +
-                        kFo4PerLevel * adder_levels(std::max<std::size_t>(idx, 1)));
+      kSetupPs +
+      fo4 * (kDecodeFo4 +
+             kFo4PerLevel * adder_levels(std::max<std::size_t>(idx, 1)));
   return util::picoseconds(raw_ps * (anchor_ps / raw_anchor_ps));
 }
 
@@ -111,8 +113,8 @@ util::Energy NeuronArrayModel::compare_energy() const {
   const double vdd = util::in_volts(tech_->vdd);
   const double gate_cap =
       util::in_femtofarads(tech_->min_inverter_cap) * 1e-15 * 4.0;
-  return util::joules(static_cast<double>(cfg_.vmem_bits) * kCompareGatesPerBit *
-                      gate_cap * vdd * vdd);
+  return util::joules(static_cast<double>(cfg_.vmem_bits) *
+                      kCompareGatesPerBit * gate_cap * vdd * vdd);
 }
 
 util::Area NeuronArrayModel::area_per_neuron() const {

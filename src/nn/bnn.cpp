@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -19,6 +20,30 @@ Matrix binarize(const Matrix& latent) {
     dst[i] = src[i] >= 0.0f ? 1.0f : -1.0f;
   }
   return wb;
+}
+
+/// Routes a progress line to the configured sink (stderr by default; the
+/// library keeps stdout clean for whoever embeds it).
+void emit_progress(const TrainConfig& cfg, const std::string& line) {
+  if (cfg.log_sink != nullptr) {
+    cfg.log_sink(line, cfg.log_ctx);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+__attribute__((format(printf, 1, 2)))
+std::string format_line(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string s(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(s.data(), s.size() + 1, fmt, args);
+  va_end(args);
+  return s;
 }
 
 }  // namespace
@@ -142,7 +167,9 @@ bool BnnNetwork::load(const std::string& path, BnnNetwork& out) {
     std::uint64_t o = 0, i = 0;
     f.read(reinterpret_cast<char*>(&o), sizeof o);
     f.read(reinterpret_cast<char*>(&i), sizeof i);
-    if (!f || o == 0 || i == 0 || o > (1u << 20) || i > (1u << 20)) return false;
+    if (!f || o == 0 || i == 0 || o > (1u << 20) || i > (1u << 20)) {
+      return false;
+    }
     l.latent = Matrix(o, i);
     l.bias.assign(o, 0.0f);
     f.read(reinterpret_cast<char*>(l.latent.flat().data()),
@@ -195,7 +222,9 @@ void BnnTrainer::train_batch(const std::vector<std::vector<float>>& xs,
     a[0] = x;
     for (std::size_t l = 0; l < n_layers; ++l) {
       z[l] = wb[l].multiply(a[l]);
-      for (std::size_t j = 0; j < z[l].size(); ++j) z[l][j] += layers[l].bias[j];
+      for (std::size_t j = 0; j < z[l].size(); ++j) {
+        z[l][j] += layers[l].bias[j];
+      }
       a[l + 1] = z[l];
       if (l + 1 < n_layers) {
         for (auto& v : a[l + 1]) v = sign_activation(v);
@@ -291,10 +320,11 @@ double BnnTrainer::train_epoch(const std::vector<std::vector<float>>& xs,
     train_batch(xs, ys, idx, begin, end, loss_sum);
     ++batches;
     if (cfg_.log_every != 0 && batches % cfg_.log_every == 0) {
-      std::printf("  batch %zu/%zu  mean loss %.4f\n", batches,
-                  (idx.size() + cfg_.batch_size - 1) / cfg_.batch_size,
-                  loss_sum / static_cast<double>(end));
-      std::fflush(stdout);
+      emit_progress(cfg_,
+                    format_line("  batch %zu/%zu  mean loss %.4f", batches,
+                                (idx.size() + cfg_.batch_size - 1) /
+                                    cfg_.batch_size,
+                                loss_sum / static_cast<double>(end)));
     }
   }
   return loss_sum / static_cast<double>(xs.size());
@@ -306,8 +336,8 @@ double BnnTrainer::fit(const std::vector<std::vector<float>>& xs,
   for (std::size_t e = 0; e < cfg_.epochs; ++e) {
     loss = train_epoch(xs, ys);
     if (cfg_.log_every != 0) {
-      std::printf("epoch %zu/%zu  loss %.4f\n", e + 1, cfg_.epochs, loss);
-      std::fflush(stdout);
+      emit_progress(cfg_, format_line("epoch %zu/%zu  loss %.4f", e + 1,
+                                      cfg_.epochs, loss));
     }
   }
   return loss;

@@ -19,7 +19,8 @@ std::vector<float> Matrix::multiply(const std::vector<float>& x) const {
 std::vector<float> Matrix::multiply_transposed(
     const std::vector<float>& x) const {
   if (x.size() != rows_) {
-    throw std::invalid_argument("Matrix::multiply_transposed: dimension mismatch");
+    throw std::invalid_argument(
+        "Matrix::multiply_transposed: dimension mismatch");
   }
   std::vector<float> y(cols_, 0.0f);
   for (std::size_t r = 0; r < rows_; ++r) {

@@ -29,7 +29,7 @@ InferenceServer::~InferenceServer() { stop(); }
 
 void InferenceServer::start() {
   {
-    std::lock_guard<std::mutex> lk(queue_mutex_);
+    util::MutexLock lk(queue_mutex_);
     if (accepting_ || !workers_.empty()) {
       throw std::logic_error("InferenceServer::start: already running");
     }
@@ -37,7 +37,7 @@ void InferenceServer::start() {
     stopping_ = false;
   }
   {
-    std::lock_guard<std::mutex> lk(adapt_mutex_);
+    util::MutexLock lk(adapt_mutex_);
     adapt_stop_ = false;
   }
   workers_.reserve(cfg_.num_workers);
@@ -51,7 +51,7 @@ void InferenceServer::start() {
 
 void InferenceServer::stop() {
   {
-    std::lock_guard<std::mutex> lk(queue_mutex_);
+    util::MutexLock lk(queue_mutex_);
     if (workers_.empty() && !accepting_) return;  // never started / stopped
     accepting_ = false;
     stopping_ = true;
@@ -62,17 +62,17 @@ void InferenceServer::stop() {
   // Workers have drained the queue; now flush the adaptation engine (it
   // trains on anything still buffered and publishes one last checkpoint).
   {
-    std::lock_guard<std::mutex> lk(adapt_mutex_);
+    util::MutexLock lk(adapt_mutex_);
     adapt_stop_ = true;
   }
   adapt_cv_.notify_all();
   if (adapt_thread_.joinable()) adapt_thread_.join();
-  std::lock_guard<std::mutex> lk(queue_mutex_);
+  util::MutexLock lk(queue_mutex_);
   stopping_ = false;
 }
 
 bool InferenceServer::running() const {
-  std::lock_guard<std::mutex> lk(queue_mutex_);
+  util::MutexLock lk(queue_mutex_);
   return accepting_;
 }
 
@@ -92,7 +92,7 @@ std::future<InferenceResult> InferenceServer::submit(
   req.enqueued = Clock::now();
   std::future<InferenceResult> fut = req.promise.get_future();
   {
-    std::lock_guard<std::mutex> lk(queue_mutex_);
+    util::MutexLock lk(queue_mutex_);
     if (!accepting_) {
       throw std::logic_error(
           "InferenceServer::submit: server is not accepting requests");
@@ -106,7 +106,7 @@ std::future<InferenceResult> InferenceServer::submit(
 
 std::shared_ptr<const InferenceServer::Published>
 InferenceServer::snapshot_model() const {
-  std::lock_guard<std::mutex> lk(model_mutex_);
+  util::MutexLock lk(model_mutex_);
   return published_;
 }
 
@@ -122,13 +122,13 @@ void InferenceServer::publish(io::Checkpoint ckpt) {
   auto p = std::make_shared<Published>();
   p->ckpt = std::move(ckpt);
   {
-    std::lock_guard<std::mutex> lk(model_mutex_);
+    util::MutexLock lk(model_mutex_);
     p->version = version_.load(std::memory_order_relaxed) + 1;
     const std::uint64_t new_version = p->version;
     published_ = std::move(p);
     version_.store(new_version, std::memory_order_release);
   }
-  std::lock_guard<std::mutex> lk(stats_mutex_);
+  util::MutexLock lk(stats_mutex_);
   ++stats_.checkpoints_published;
 }
 
@@ -141,7 +141,7 @@ std::uint64_t InferenceServer::model_version() const {
 }
 
 ServerStats InferenceServer::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mutex_);
+  util::MutexLock lk(stats_mutex_);
   return stats_;
 }
 
@@ -157,26 +157,24 @@ void InferenceServer::worker_loop() {
       std::chrono::duration<double, std::micro>(
           std::max(0.0, cfg_.max_delay_us)));
 
-  std::unique_lock<std::mutex> lk(queue_mutex_);
+  util::UniqueLock lk(queue_mutex_);
   for (;;) {
-    queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stopping_) return;
-      continue;
-    }
+    // Explicit wait loops (not predicate lambdas) keep the guarded reads
+    // inside this function, where -Wthread-safety can see the held lock.
+    while (!stopping_ && queue_.empty()) queue_cv_.wait(lk);
+    if (queue_.empty()) return;  // empty here implies shutdown: drain done
 
     // Dynamic batch formation: hold the partial batch until it fills or the
     // oldest request's deadline passes. The shutdown drain takes whatever
     // is queued immediately.
     const auto deadline = queue_.front().enqueued + budget;
-    if (!stopping_ && queue_.size() < cfg_.max_batch) {
-      // Returns either when the predicate holds (batch filled, queue stolen
-      // by another worker, or shutdown) or at the deadline -- a partial
-      // batch dispatches in every case.
-      queue_cv_.wait_until(lk, deadline, [&] {
-        return stopping_ || queue_.empty() ||
-               queue_.size() >= cfg_.max_batch;
-      });
+    // Loop exits when the batch fills, the queue is stolen by another
+    // worker, shutdown begins, or the deadline passes -- a partial batch
+    // dispatches in every case.
+    while (!stopping_ && !queue_.empty() && queue_.size() < cfg_.max_batch) {
+      if (queue_cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        break;
+      }
     }
     if (queue_.empty()) continue;  // another worker raced us to the batch
 
@@ -217,7 +215,7 @@ void InferenceServer::serve_batch(arch::SystemSimulator& sim,
   if (cfg_.adapt) {
     bool any = false;
     {
-      std::lock_guard<std::mutex> alk(adapt_mutex_);
+      util::MutexLock alk(adapt_mutex_);
       for (Request& r : batch) {
         if (r.label.has_value()) {
           adapt_buffer_.emplace_back(std::move(r.input), *r.label);
@@ -246,7 +244,7 @@ void InferenceServer::serve_batch(arch::SystemSimulator& sim,
   }
 
   {
-    std::lock_guard<std::mutex> slk(stats_mutex_);
+    util::MutexLock slk(stats_mutex_);
     stats_.requests_served += batch.size();
     ++stats_.batches_dispatched;
     if (full_batch) {
@@ -280,11 +278,11 @@ void InferenceServer::adapt_loop() {
   model.reset();
   learning::OnlineTrainer trainer(learn_sim.tiles(), cfg_.trainer);
 
-  std::unique_lock<std::mutex> lk(adapt_mutex_);
+  util::UniqueLock lk(adapt_mutex_);
   for (;;) {
-    adapt_cv_.wait(lk, [&] {
-      return adapt_stop_ || adapt_buffer_.size() >= cfg_.adapt_batch;
-    });
+    while (!adapt_stop_ && adapt_buffer_.size() < cfg_.adapt_batch) {
+      adapt_cv_.wait(lk);
+    }
     if (adapt_buffer_.empty()) {
       if (adapt_stop_) return;
       continue;
@@ -302,7 +300,7 @@ void InferenceServer::adapt_loop() {
         io::Checkpoint::from_network(learn_sim.export_network(), meta);
     publish(std::move(ck));
     {
-      std::lock_guard<std::mutex> slk(stats_mutex_);
+      util::MutexLock slk(stats_mutex_);
       stats_.adapt_samples += samples.size();
     }
 

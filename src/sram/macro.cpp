@@ -139,7 +139,8 @@ BitVec SramMacro::read_column(std::size_t col) {
     // 6T baseline: one full-row read per row just to fish out one bit each.
     stats_.rw_read_accesses += geometry().rows;
     post(util::EnergyCategory::kSramTransRead,
-         timing_.rw_read_access().energy * static_cast<double>(geometry().rows));
+         timing_.rw_read_access().energy *
+             static_cast<double>(geometry().rows));
   }
   return out;
 }
@@ -160,7 +161,8 @@ void SramMacro::write_column(std::size_t col, const BitVec& value) {
   } else {
     stats_.rw_write_accesses += geometry().rows;
     post(util::EnergyCategory::kSramWrite,
-         timing_.rw_write_access().energy * static_cast<double>(geometry().rows));
+         timing_.rw_write_access().energy *
+             static_cast<double>(geometry().rows));
   }
 }
 

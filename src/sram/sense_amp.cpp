@@ -7,7 +7,7 @@
 
 namespace esam::sram {
 
-// --- DifferentialSenseAmp ------------------------------------------------------
+// --- DifferentialSenseAmp ----------------------------------------------------
 
 DifferentialSenseAmp::DifferentialSenseAmp(const TechnologyParams& tech)
     : tech_(&tech) {}
@@ -28,7 +28,9 @@ Energy DifferentialSenseAmp::sense_energy() const {
                                 tech_->vdd);
 }
 
-Capacitance DifferentialSenseAmp::input_cap() const { return tech_->gate_cap * 4.0; }
+Capacitance DifferentialSenseAmp::input_cap() const {
+  return tech_->gate_cap * 4.0;
+}
 
 Area DifferentialSenseAmp::area() const {
   // ~20 transistor-equivalents; sized relative to the 6T cell (approximately
@@ -36,7 +38,7 @@ Area DifferentialSenseAmp::area() const {
   return util::square_microns(12.0 * tech::calib::k6TCellAreaUm2);
 }
 
-// --- InverterSenseAmp ----------------------------------------------------------
+// --- InverterSenseAmp --------------------------------------------------------
 
 InverterSenseAmp::InverterSenseAmp(const TechnologyParams& tech, Voltage vprech)
     : tech_(&tech), vprech_(vprech) {}
@@ -52,7 +54,8 @@ Time InverterSenseAmp::sense_delay() const {
   // later stages regenerate), so derate with a square-root law.
   const double vdd = util::in_volts(tech_->vdd);
   const double vpre = util::in_volts(vprech_);
-  const double overdrive = std::max(vdd - vpre * 0.5 - util::in_volts(tech_->vth), 0.05);
+  const double overdrive =
+      std::max(vdd - vpre * 0.5 - util::in_volts(tech_->vth), 0.05);
   const double nominal_od = vdd - util::in_volts(tech_->vth);
   const double derate = std::sqrt(nominal_od / overdrive);
   return tech_->fo4_delay * (2.0 + 2.0 * derate);
@@ -69,7 +72,9 @@ Energy InverterSenseAmp::sense_energy() const {
   return input + output;
 }
 
-Capacitance InverterSenseAmp::input_cap() const { return tech_->gate_cap * 2.0; }
+Capacitance InverterSenseAmp::input_cap() const {
+  return tech_->gate_cap * 2.0;
+}
 
 Area InverterSenseAmp::area() const {
   // Three inverters; fits one column pitch (~2 bitcells).

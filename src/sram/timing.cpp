@@ -13,7 +13,7 @@ namespace {
 
 namespace calib = tech::calib;
 
-// --- free model constants ------------------------------------------------------
+// --- free model constants ----------------------------------------------------
 // These are not fitted to a specific paper number; they set secondary effects
 // whose *direction* the paper describes. Golden tests pin the directions.
 
@@ -53,7 +53,8 @@ constexpr double kControlAreaOverhead = 0.05;
 /// hypothetical >4-port cells, extrapolate with the 4R window.
 double precharge_window_ns(std::size_t ports) {
   const std::size_t i = std::min<std::size_t>(ports, 4);
-  return 0.5 * std::max(calib::kTable2ArbiterNs[i], calib::kTable2SramNeuronNs[i]);
+  return 0.5 *
+         std::max(calib::kTable2ArbiterNs[i], calib::kTable2SramNeuronNs[i]);
 }
 
 double clock_period_ns(std::size_t ports) {
@@ -63,7 +64,7 @@ double clock_period_ns(std::size_t ports) {
 
 }  // namespace
 
-// --- raw analytic values --------------------------------------------------------
+// --- raw analytic values -----------------------------------------------------
 
 struct SramTimingModel::Raw {
   double pre_ps = 0.0;        ///< precharge settle time (with tail)
@@ -148,9 +149,10 @@ SramTimingModel::Raw SramTimingModel::raw() const {
     const double r_stack = 2.0 * util::in_ohms(t.device_on_res);
     const double r_bl = util::in_ohms(rw_bl.resistance());
     const double t_wl = util::in_picoseconds(rw_wl.elmore_delay(
-        util::ohms(r_drv), util::femtofarads(rw_wl_cells * 2.0 * gate_af * 1e-3)));
-    const double t_dis =
-        (r_stack + 0.5 * r_bl) * c_rw_bl_ff * 1e-15 * (kDiffReadSwingV / (vdd * 0.5)) * 1e12;
+        util::ohms(r_drv),
+        util::femtofarads(rw_wl_cells * 2.0 * gate_af * 1e-3)));
+    const double t_dis = (r_stack + 0.5 * r_bl) * c_rw_bl_ff * 1e-15 *
+                         (kDiffReadSwingV / (vdd * 0.5)) * 1e12;
     const DifferentialSenseAmp sa(t);
     out.read_ps = kDecodeFo4 * fo4_ps + t_wl + t_dis +
                   util::in_picoseconds(sa.sense_delay()) + kSetupPs;
@@ -161,8 +163,9 @@ SramTimingModel::Raw SramTimingModel::raw() const {
     // Energy: every pair restores the read swing; SA per column; WL.
     const double e_pair_fj = c_rw_bl_ff * vdd * kDiffReadSwingV;
     const double e_sa_fj = util::in_femtojoules(sa.sense_energy());
-    const double e_wl_fj =
-        util::in_femtojoules(rw_wl.switching_energy(t.vdd, util::femtofarads(c_rw_wl_ff - util::in_femtofarads(rw_wl.capacitance()))));
+    const double e_wl_fj = util::in_femtojoules(rw_wl.switching_energy(
+        t.vdd, util::femtofarads(c_rw_wl_ff -
+                                 util::in_femtofarads(rw_wl.capacitance()))));
     out.row_read_fj = cols * (e_pair_fj + e_sa_fj) + e_wl_fj;
   } else {
     // Decoupled single-ended ports at Vprech.
@@ -202,9 +205,10 @@ SramTimingModel::Raw SramTimingModel::raw() const {
     const double bits = static_cast<double>(rw_access_bits());
     const DifferentialSenseAmp sa(t);
     const double t_wl = util::in_picoseconds(rw_wl.elmore_delay(
-        util::ohms(r_drv), util::femtofarads(rw_wl_cells * 2.0 * gate_af * 1e-3)));
-    const double t_dis =
-        (r_stack + 0.5 * r_bl) * c_rw_bl_ff * 1e-15 * (kDiffReadSwingV / (vdd * 0.5)) * 1e12;
+        util::ohms(r_drv),
+        util::femtofarads(rw_wl_cells * 2.0 * gate_af * 1e-3)));
+    const double t_dis = (r_stack + 0.5 * r_bl) * c_rw_bl_ff * 1e-15 *
+                         (kDiffReadSwingV / (vdd * 0.5)) * 1e12;
     out.rw_read_ps = t_wl + t_dis + util::in_picoseconds(sa.sense_delay()) +
                      fo4_ps /*mux*/ + kSetupPs;
 
@@ -220,7 +224,8 @@ SramTimingModel::Raw SramTimingModel::raw() const {
                         ((vdd + vwd) / vdd) * 1e12;
     out.rw_write_ps = t_wl + t_bl + 4.0 * fo4_ps /*flip*/ + kSetupPs;
     const double e_flip_fj =
-        kCellFlipInverters * util::in_femtofarads(t.min_inverter_cap) * vdd * vdd;
+        kCellFlipInverters * util::in_femtofarads(t.min_inverter_cap) * vdd *
+        vdd;
     const double e_bl_fj = c_rw_bl_ff * (vdd + vwd) * vdd;  // NBL swing
     const double half_selected =
         bits * (static_cast<double>(geom_.col_mux) - 1.0);
@@ -231,7 +236,7 @@ SramTimingModel::Raw SramTimingModel::raw() const {
   return out;
 }
 
-// --- calibration ----------------------------------------------------------------
+// --- calibration -------------------------------------------------------------
 
 namespace {
 
@@ -310,7 +315,7 @@ const Scales& scales_for(const BitcellSpec& spec) {
 
 }  // namespace
 
-// --- public interface -------------------------------------------------------------
+// --- public interface --------------------------------------------------------
 
 Time SramTimingModel::precharge_time() const {
   return util::picoseconds(raw().pre_ps);
@@ -338,7 +343,8 @@ Energy SramTimingModel::inference_row_read_energy() const {
 }
 
 Energy SramTimingModel::average_access_energy_full_utilization() const {
-  const double p = static_cast<double>(std::max<std::size_t>(spec_.read_ports, 1));
+  const double p =
+      static_cast<double>(std::max<std::size_t>(spec_.read_ports, 1));
   const Energy dynamic = inference_row_read_energy();
 
   // Static contributions shared across the p concurrent operations:
@@ -351,11 +357,13 @@ Energy SramTimingModel::average_access_energy_full_utilization() const {
   Energy crowbar{};
   if (spec_.read_ports > 0) {
     const double vdd = util::in_volts(tech_->vdd);
-    const double od = vdd - util::in_volts(vprech_) - util::in_volts(tech_->vth);
+    const double od =
+        vdd - util::in_volts(vprech_) - util::in_volts(tech_->vth);
     const double i_on = vdd / util::in_ohms(tech_->device_on_res);
     double i_sc = 0.0;
     if (od > 0.0) {
-      i_sc = i_on * kSaCrowbarPeakFraction * std::pow(od / 0.1, tech_->sat_alpha);
+      i_sc =
+          i_on * kSaCrowbarPeakFraction * std::pow(od / 0.1, tech_->sat_alpha);
     } else {
       i_sc = i_on * kSaCrowbarPeakFraction * 0.08 * std::exp(od / 0.04);
     }
@@ -365,13 +373,15 @@ Energy SramTimingModel::average_access_energy_full_utilization() const {
              ? util::nanoseconds(clock_period_ns(spec_.read_ports))
              : util::picoseconds(0.0));
     const double n_sa = static_cast<double>(geom_.cols);  // per port
-    crowbar = util::joules(n_sa * i_sc * vdd * util::in_seconds(crowbar_window));
+    crowbar =
+        util::joules(n_sa * i_sc * vdd * util::in_seconds(crowbar_window));
   }
   return dynamic + leak_share + crowbar;
 }
 
 Time SramTimingModel::average_access_time_full_utilization() const {
-  const double p = static_cast<double>(std::max<std::size_t>(spec_.read_ports, 1));
+  const double p =
+      static_cast<double>(std::max<std::size_t>(spec_.read_ports, 1));
   return inference_access_time() / p;
 }
 
@@ -446,13 +456,14 @@ Area SramTimingModel::array_area() const {
   const double ports = static_cast<double>(spec_.read_ports);
   const InverterSenseAmp inv_sa(*tech_, vprech_);
   const DifferentialSenseAmp diff_sa(*tech_);
-  const Area sa_area = inv_sa.area() * (static_cast<double>(geom_.cols) * ports) +
-                       diff_sa.area() * static_cast<double>(rw_access_bits());
+  const Area sa_area =
+      inv_sa.area() * (static_cast<double>(geom_.cols) * ports) +
+      diff_sa.area() * static_cast<double>(rw_access_bits());
   // Wordline drivers: one per row per port plus the RW-port drivers; each
   // about two bitcells.
-  const double drivers = static_cast<double>(geom_.rows) * std::max(ports, 1.0) +
-                         static_cast<double>(rw_port_is_columnwise() ? geom_.cols
-                                                                     : geom_.rows);
+  const double drivers =
+      static_cast<double>(geom_.rows) * std::max(ports, 1.0) +
+      static_cast<double>(rw_port_is_columnwise() ? geom_.cols : geom_.rows);
   const Area driver_area =
       util::square_microns(2.0 * tech::calib::k6TCellAreaUm2 * drivers);
   // Precharge devices: one per column per port, half a bitcell each.

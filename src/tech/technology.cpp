@@ -10,7 +10,8 @@ Resistance TechnologyParams::effective_res(Voltage vgs) const {
   // is defined at Vgs = VDD; scale by the overdrive ratio. Clamp the
   // overdrive to 50 mV so sub-threshold operation degrades gracefully
   // instead of dividing by zero.
-  const double od_nominal = std::max(util::in_volts(vdd) - util::in_volts(vth), 0.05);
+  const double od_nominal =
+      std::max(util::in_volts(vdd) - util::in_volts(vth), 0.05);
   const double od = std::max(util::in_volts(vgs) - util::in_volts(vth), 0.05);
   const double ratio = std::pow(od_nominal / od, sat_alpha);
   return util::ohms(util::in_ohms(device_on_res) * ratio);

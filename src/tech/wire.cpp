@@ -11,7 +11,9 @@ Wire::Wire(const TechnologyParams& tech, double length_um, double width_factor)
       cap_(util::femtofarads(util::in_femtofarads(tech.wire_cap_per_um) *
                              length_um)) {
   if (length_um < 0.0) throw std::invalid_argument("Wire: negative length");
-  if (width_factor <= 0.0) throw std::invalid_argument("Wire: width factor must be > 0");
+  if (width_factor <= 0.0) {
+    throw std::invalid_argument("Wire: width factor must be > 0");
+  }
 }
 
 Time Wire::elmore_delay(Resistance driver, Capacitance load) const {
@@ -19,7 +21,8 @@ Time Wire::elmore_delay(Resistance driver, Capacitance load) const {
   const double r_w = util::in_ohms(res_);
   const double c_w = cap_.base();
   const double c_l = load.base();
-  const double t = 0.69 * r_drv * (c_w + c_l) + 0.38 * r_w * c_w + 0.69 * r_w * c_l;
+  const double t =
+      0.69 * r_drv * (c_w + c_l) + 0.38 * r_w * c_w + 0.69 * r_w * c_l;
   return util::seconds(t);
 }
 

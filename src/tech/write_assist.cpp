@@ -17,15 +17,18 @@ constexpr double kPerPort = 0.0798;   // +~24 mV per added read port at 128 rows
 
 }  // namespace
 
-WriteAssistModel::WriteAssistModel(const TechnologyParams& tech) : tech_(&tech) {}
+WriteAssistModel::WriteAssistModel(const TechnologyParams& tech)
+    : tech_(&tech) {}
 
 WriteAssistResult WriteAssistModel::evaluate(std::size_t rows,
                                              std::size_t read_ports) const {
-  const double magnitude_mv = kBaseMv * (static_cast<double>(rows) / 128.0) *
-                              (1.0 + kPerPort * static_cast<double>(read_ports));
+  const double magnitude_mv =
+      kBaseMv * (static_cast<double>(rows) / 128.0) *
+      (1.0 + kPerPort * static_cast<double>(read_ports));
   WriteAssistResult r;
   r.required_vwd = util::millivolts(-magnitude_mv);
-  r.yielding = util::in_millivolts(r.required_vwd) >= calib::kMaxNegativeBitlineMv;
+  r.yielding =
+      util::in_millivolts(r.required_vwd) >= calib::kMaxNegativeBitlineMv;
   return r;
 }
 

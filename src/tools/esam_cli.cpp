@@ -563,12 +563,14 @@ void print_checkpoint_info(const std::string& path,
   }
   util::Table table("checkpoint: " + path);
   table.header({"field", "value"});
-  table.row({"format version", util::fmt("%u", io::Checkpoint::kFormatVersion)});
+  table.row(
+      {"format version", util::fmt("%u", io::Checkpoint::kFormatVersion)});
   table.row({"layers", util::fmt("%zu", ckpt.network.layers().size())});
   table.row({"shape", shape_string(ckpt.shape())});
   table.row({"neurons", util::fmt("%zu", neurons)});
-  table.row({"synapses", util::fmt("%llu",
-                                   static_cast<unsigned long long>(weight_bits))});
+  table.row(
+      {"synapses",
+       util::fmt("%llu", static_cast<unsigned long long>(weight_bits))});
   table.row({"file bytes", util::fmt("%zu", ckpt.encode().size())});
   if (ckpt.meta.created_unix != 0) {
     const auto t = static_cast<std::time_t>(ckpt.meta.created_unix);
@@ -820,7 +822,8 @@ int cmd_serve(const CliOptions& opt, const std::vector<std::string>&) {
 
   const data::PreparedDataset eval =
       model ? model->data.test : load_eval_stream();
-  if (ckpt.network.layers().front().in_features() != eval.spikes.front().size()) {
+  if (ckpt.network.layers().front().in_features() !=
+      eval.spikes.front().size()) {
     std::fprintf(stderr,
                  "esam: checkpoint input width %zu does not match the "
                  "test stream (%zu)\n",

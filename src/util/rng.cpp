@@ -92,7 +92,9 @@ double Rng::normal() {
   return radius * std::cos(angle);
 }
 
-double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
 
 Rng Rng::split() { return Rng(next_u64()); }
 

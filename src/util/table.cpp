@@ -13,9 +13,9 @@ Table& Table::header(std::vector<std::string> cells) {
 
 Table& Table::row(std::vector<std::string> cells) {
   if (!header_.empty() && cells.size() != header_.size()) {
-    throw std::invalid_argument("Table::row: expected " +
-                                std::to_string(header_.size()) + " cells, got " +
-                                std::to_string(cells.size()));
+    throw std::invalid_argument(
+        "Table::row: expected " + std::to_string(header_.size()) +
+        " cells, got " + std::to_string(cells.size()));
   }
   rows_.push_back(std::move(cells));
   return *this;

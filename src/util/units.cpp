@@ -43,7 +43,9 @@ std::string to_string(Time t) { return format_engineering(t.base(), "s"); }
 std::string to_string(Energy e) { return format_engineering(e.base(), "J"); }
 std::string to_string(Power p) { return format_engineering(p.base(), "W"); }
 std::string to_string(Voltage v) { return format_engineering(v.base(), "V"); }
-std::string to_string(Frequency f) { return format_engineering(f.base(), "Hz"); }
+std::string to_string(Frequency f) {
+  return format_engineering(f.base(), "Hz");
+}
 
 std::string to_string(Area a) {
   char buf[64];

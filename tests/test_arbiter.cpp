@@ -159,7 +159,7 @@ TEST(MultiPortArbiterProperty, DrainsAllRequestsExactlyOnce) {
   }
 }
 
-// --- timing/area anchors (sec 3.3) ----------------------------------------------
+// --- timing/area anchors (sec 3.3) -------------------------------------------
 
 TEST(ArbiterTimingModel, FlatCriticalPathExceeds1100ps) {
   const ArbiterTimingModel flat(tech::imec3nm(), 128, 4,

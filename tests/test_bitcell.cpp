@@ -55,7 +55,8 @@ TEST(Bitcell, TrackWidthFactorsShrinkWithPorts) {
   for (CellKind k : kAllCellKinds) {
     const BitcellSpec s = BitcellSpec::of(k);
     EXPECT_LT(s.vertical_track_width_factor(), prev_v) << to_string(k);
-    EXPECT_LE(s.horizontal_track_width_factor(), prev_h + 1e-12) << to_string(k);
+    EXPECT_LE(s.horizontal_track_width_factor(), prev_h + 1e-12)
+        << to_string(k);
     prev_v = s.vertical_track_width_factor();
     prev_h = s.horizontal_track_width_factor();
   }

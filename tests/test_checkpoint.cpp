@@ -79,7 +79,9 @@ std::string temp_path(const char* name) {
 TEST(Checkpoint, EncodeDecodeRoundTripIsByteExact) {
   Checkpoint ckpt = Checkpoint::from_network(
       random_snn({96, 64, 32, 7}, 301),
-      {.source = "unit-test", .note = "round trip", .created_unix = 1700000000});
+      {.source = "unit-test",
+       .note = "round trip",
+       .created_unix = 1700000000});
   const std::vector<std::uint8_t> bytes = ckpt.encode();
   const Checkpoint back = Checkpoint::decode(bytes);
 
@@ -93,9 +95,9 @@ TEST(Checkpoint, EncodeDecodeRoundTripIsByteExact) {
 
 TEST(Checkpoint, SaveLoadRoundTripThroughFile) {
   const std::string path = temp_path("ckpt_roundtrip.esam");
-  const Checkpoint ckpt =
-      Checkpoint::from_network(random_snn({64, 48, 5}, 302),
-                               {.source = "file-test", .note = "", .created_unix = 0});
+  const Checkpoint ckpt = Checkpoint::from_network(
+      random_snn({64, 48, 5}, 302),
+      {.source = "file-test", .note = "", .created_unix = 0});
   ckpt.save(path);
   const Checkpoint back = Checkpoint::load(path);
   expect_network_identical(ckpt.network, back.network);

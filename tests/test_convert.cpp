@@ -72,7 +72,7 @@ TEST(Convert, ToSpikesMapsPositiveToSpike) {
   EXPECT_EQ(s.to_string(), "1010");
 }
 
-// --- exactness: layer by layer ----------------------------------------------------
+// --- exactness: layer by layer -----------------------------------------------
 
 TEST(ConvertExactness, HiddenSpikesEqualBnnSignsLayerByLayer) {
   util::Rng rng(42);

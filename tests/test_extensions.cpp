@@ -19,7 +19,7 @@ using arbiter::GrantSet;
 using arbiter::MultiPortArbiter;
 using util::BitVec;
 
-// --- round-robin arbiter -------------------------------------------------------
+// --- round-robin arbiter -----------------------------------------------------
 
 TEST(RoundRobin, RotatesPriorityAcrossCycles) {
   MultiPortArbiter arb(8, 1, EncoderTopology::kTree, 32,
@@ -107,7 +107,7 @@ TEST(RoundRobin, ResetRestoresInitialPriority) {
   EXPECT_EQ(arb.arbitrate().rows.front(), 0u);  // back to index 0 first
 }
 
-// --- low-power operating point ---------------------------------------------------
+// --- low-power operating point -----------------------------------------------
 
 TEST(LowPower, NodeParameters) {
   const auto& lp = tech::imec3nm_low_power();
@@ -160,7 +160,7 @@ TEST(LowPower, CutsPowerAtSimilarOrBetterEnergy) {
             util::in_picojoules(rn.energy_per_inference));
 }
 
-// --- rate-coded multi-timestep operation -----------------------------------------
+// --- rate-coded multi-timestep operation -------------------------------------
 
 nn::SnnNetwork small_snn(std::uint64_t seed) {
   util::Rng rng(seed);

@@ -16,7 +16,7 @@ namespace {
 
 namespace calib = tech::calib;
 
-// --- Table 2 ------------------------------------------------------------------
+// --- Table 2 -----------------------------------------------------------------
 
 TEST(GoldenTable2, StageDelaysWithinFivePercent) {
   const auto& t = tech::imec3nm();
@@ -55,7 +55,7 @@ TEST(GoldenTable2, SramNeuronStageBecomesBottleneckWithPorts) {
   }
 }
 
-// --- Section 4.4.1 (online learning) --------------------------------------------
+// --- Section 4.4.1 (online learning) -----------------------------------------
 
 TEST(GoldenLearning, BaselineColumnUpdateCost) {
   const auto& t = tech::imec3nm();
@@ -82,7 +82,7 @@ TEST(GoldenLearning, ProposedColumnReadWriteGains) {
               calib::kColumnWriteGain, 0.1 * calib::kColumnWriteGain);
 }
 
-// --- System level (Fig. 8 / Table 3) --------------------------------------------
+// --- System level (Fig. 8 / Table 3) -----------------------------------------
 
 class GoldenSystem : public ::testing::Test {
  protected:

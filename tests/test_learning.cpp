@@ -70,7 +70,7 @@ TEST(Stdp, OnlyTouchedBitsChange) {
   EXPECT_EQ(updated.to_string(), "10001111");
 }
 
-// --- OnlineLearner ---------------------------------------------------------------
+// --- OnlineLearner -----------------------------------------------------------
 
 arch::Tile make_tile(sram::CellKind cell, std::size_t in = 128,
                      std::size_t out = 16) {

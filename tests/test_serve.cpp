@@ -281,6 +281,93 @@ TEST(Serve, AdaptTrainsAndPublishesNewCheckpoints) {
   EXPECT_GT(diff, 0u);
 }
 
+TEST(Serve, StressSubmitAdaptPublishStopRace) {
+  // TSan-targeted stress: client threads hammer submit() (some labeled, so
+  // the background adaptation engine trains and publishes checkpoints
+  // mid-stream), a reader thread polls every const accessor, and stop()
+  // races the drain from yet another thread. Assertions are deliberately
+  // minimal -- the point is driving every cross-thread edge (queue,
+  // model-publish, stats, adapt buffer, shutdown) under the TSan lane,
+  // where any data race or lock-order inversion is a test failure.
+  const nn::SnnNetwork snn = random_snn({64, 32, 6}, 421);
+  const auto inputs = random_inputs(48, 64, 422);
+
+  ServerConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_batch = 3;
+  cfg.max_delay_us = 30.0;
+  cfg.adapt = true;
+  cfg.adapt_batch = 4;
+  cfg.trainer.stdp = {.p_potentiation = 0.4, .p_depression = 0.2, .seed = 7};
+  cfg.trainer.update_on_correct = true;
+  InferenceServer server(tech::imec3nm(), {},
+                         io::Checkpoint::from_network(snn), cfg);
+  server.start();
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 40;
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<bool> reader_stop{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients + 2);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::future<InferenceResult>> futs;
+      futs.reserve(kPerClient);
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const util::BitVec& input = inputs[(c * kPerClient + i) %
+                                           inputs.size()];
+        std::optional<std::uint8_t> label;
+        if (i % 3 == 0) label = static_cast<std::uint8_t>(i % 6);
+        try {
+          futs.push_back(server.submit(input, c, label));
+          ++accepted;
+        } catch (const std::logic_error&) {
+          ++rejected;  // stop() won the race; acceptable from here on
+        }
+      }
+      // Drain contract: every future obtained before/through the race
+      // resolves -- the shutdown drain answers all accepted requests.
+      for (auto& fut : futs) (void)fut.get();
+    });
+  }
+  threads.emplace_back([&] {
+    // Concurrent reads of every const accessor while the stream runs.
+    while (!reader_stop.load()) {
+      (void)server.model_version();
+      (void)server.running();
+      (void)server.stats();
+      (void)server.current_checkpoint();
+      std::this_thread::yield();
+    }
+  });
+  threads.emplace_back([&] {
+    // Let some traffic actually get served, then race the drain. The wait
+    // keeps the test meaningful (and adapt_samples nonzero) even on a
+    // heavily loaded CI machine; the bound keeps it finite.
+    for (int spins = 0; spins < 10000; ++spins) {
+      if (server.stats().requests_served >= 8) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    server.stop();
+  });
+
+  for (std::size_t c = 0; c < kClients; ++c) threads[c].join();
+  threads[kClients + 1].join();  // the stopper
+  reader_stop.store(true);
+  threads[kClients].join();  // the reader
+
+  server.stop();  // idempotent after the racing stop()
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_served, accepted.load());
+  EXPECT_EQ(accepted.load() + rejected.load(), kClients * kPerClient);
+  // Labeled traffic reached the adaptation engine and produced publishes.
+  EXPECT_GT(stats.adapt_samples, 0u);
+  EXPECT_EQ(server.model_version(), 1u + stats.checkpoints_published);
+}
+
 TEST(Serve, RejectsBadInputsAndDoubleStart) {
   const nn::SnnNetwork snn = random_snn({64, 32, 4}, 415);
   InferenceServer server(tech::imec3nm(), {},

@@ -17,7 +17,7 @@ SramTimingModel model_for(CellKind kind,
   return SramTimingModel(tech::imec3nm(), BitcellSpec::of(kind), geom, vprech);
 }
 
-// --- construction guards -------------------------------------------------------
+// --- construction guards -----------------------------------------------------
 
 TEST(SramTiming, RejectsDegenerateGeometry) {
   const auto& t = tech::imec3nm();
@@ -42,7 +42,7 @@ TEST(SramTiming, RejectsBadPrechargeVoltage) {
                std::invalid_argument);
 }
 
-// --- Table 2 anchors (read-path split) ------------------------------------------
+// --- Table 2 anchors (read-path split) ---------------------------------------
 
 class SramReadPath : public ::testing::TestWithParam<std::size_t> {};
 
@@ -56,7 +56,7 @@ TEST_P(SramReadPath, MatchesTable2SplitAtNominal) {
 INSTANTIATE_TEST_SUITE_P(AllCells, SramReadPath,
                          ::testing::Values(0u, 1u, 2u, 3u, 4u));
 
-// --- RW-port anchors (sec 4.4.1 / Fig. 6) ---------------------------------------
+// --- RW-port anchors (sec 4.4.1 / Fig. 6) ------------------------------------
 
 TEST(SramTiming, TransposedPortAnchors6T) {
   const auto m = model_for(CellKind::k1RW);
@@ -136,7 +136,7 @@ TEST(SramTiming, LineOpsAggregateAccesses) {
               128.0 * util::in_nanoseconds(m6.rw_read_access().time), 1e-9);
 }
 
-// --- Fig. 7: precharge-voltage trade-off ----------------------------------------
+// --- Fig. 7: precharge-voltage trade-off -------------------------------------
 
 class VprechSweep : public ::testing::TestWithParam<std::size_t> {};
 
@@ -241,13 +241,13 @@ TEST(SramTiming, AccessEnergyUptickAtFourthPortAndBeyond) {
   EXPECT_GT(e5 - e4, e2 - e1); // the growth accelerates
 }
 
-// --- inference energy ------------------------------------------------------------
+// --- inference energy --------------------------------------------------------
 
 TEST(SramTiming, BaselineRowReadCostsMoreEnergyThanMultiport) {
   // The voltage-scaled single-ended ports beat the full-VDD differential
   // baseline read -- the root of the 2.2x array-level energy gain.
-  const double e6t =
-      util::in_femtojoules(model_for(CellKind::k1RW).inference_row_read_energy());
+  const double e6t = util::in_femtojoules(
+      model_for(CellKind::k1RW).inference_row_read_energy());
   const double e4r = util::in_femtojoules(
       model_for(CellKind::k1RW4R).inference_row_read_energy());
   EXPECT_GT(e6t / e4r, 1.5);
@@ -264,7 +264,7 @@ TEST(SramTiming, InferenceEnergyScalesWithColumns) {
   EXPECT_LT(ratio, 14.0);
 }
 
-// --- statics ----------------------------------------------------------------------
+// --- statics -----------------------------------------------------------------
 
 TEST(SramTiming, LeakageGrowsWithCellAreaMultiplier) {
   double prev = 0.0;

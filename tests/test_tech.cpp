@@ -43,8 +43,8 @@ TEST(Wire, ResistanceAndCapacitanceScaleWithLength) {
   const TechnologyParams& t = imec3nm();
   const Wire w1(t, 10.0);
   const Wire w2(t, 20.0);
-  EXPECT_NEAR(util::in_ohms(w2.resistance()), 2.0 * util::in_ohms(w1.resistance()),
-              1e-9);
+  EXPECT_NEAR(util::in_ohms(w2.resistance()),
+              2.0 * util::in_ohms(w1.resistance()), 1e-9);
   EXPECT_NEAR(util::in_femtofarads(w2.capacitance()),
               2.0 * util::in_femtofarads(w1.capacitance()), 1e-9);
 }

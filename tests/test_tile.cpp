@@ -208,7 +208,8 @@ TEST(Tile, EnergyPostedDuringExecution) {
 
 TEST(Tile, AreaAndLeakageScaleWithCell) {
   const Tile base(tech::imec3nm(), config_for(128, 128, sram::CellKind::k1RW));
-  const Tile four(tech::imec3nm(), config_for(128, 128, sram::CellKind::k1RW4R));
+  const Tile four(tech::imec3nm(),
+                  config_for(128, 128, sram::CellKind::k1RW4R));
   EXPECT_GT(util::in_square_microns(four.area()),
             util::in_square_microns(base.area()) * 1.8);
   EXPECT_GT(four.leakage().base(), base.leakage().base());

@@ -77,7 +77,7 @@ TEST(Variation, SlowerDevicesGiveSlowerReadPath) {
             util::in_nanoseconds(nominal.rw_write_access().time));
 }
 
-// --- geometry scaling properties (parameterized) ---------------------------------
+// --- geometry scaling properties (parameterized) -----------------------------
 
 class GeometryScaling : public ::testing::TestWithParam<sram::CellKind> {};
 
@@ -122,15 +122,15 @@ TEST_P(GeometryScaling, LeakageProportionalToCellCount) {
   EXPECT_LT(ratio, 2.05);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllCells, GeometryScaling,
-                         ::testing::ValuesIn(sram::kAllCellKinds),
-                         [](const ::testing::TestParamInfo<sram::CellKind>& param_info) {
-                           std::string name{sram::to_string(param_info.param)};
-                           for (auto& c : name) {
-                             if (c == '+') c = '_';
-                           }
-                           return name;
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, GeometryScaling, ::testing::ValuesIn(sram::kAllCellKinds),
+    [](const ::testing::TestParamInfo<sram::CellKind>& param_info) {
+      std::string name{sram::to_string(param_info.param)};
+      for (auto& c : name) {
+        if (c == '+') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace esam::tech
