@@ -4,15 +4,22 @@
 //
 // The BNN is trained once (cached in ./esam_bnn_cache.bin) and shared by all
 // five hardware configurations -- exactly the paper's methodology.
-// Usage: bench_fig8_system [inferences] [threads]
+// Usage: bench_fig8_system [inferences] [threads] [--json PATH]
 //   threads > 1 (or 0 = all cores) runs the batched multi-threaded engine
 //   and appends a simulator-throughput speedup measurement vs 1 thread.
+//   --json writes the modelled per-cell metrics (machine-independent) plus
+//   host-throughput info for the benchmark-regression gate
+//   (scripts/check_bench.py).
+#include <algorithm>
 #include <chrono>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "esam/core/esam.hpp"
 #include "esam/tech/calibration.hpp"
+#include "esam/util/simd.hpp"
 
 using namespace esam;
 
@@ -34,12 +41,26 @@ int main(int argc, char** argv) {
       "Figure 8: system-level comparison of cell options");
 
   const bool smoke = bench::smoke_mode(argc, argv);
+  std::string json_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--", 0) != 0) {
+      positional.push_back(argv[i]);
+    }
+  }
   const std::size_t inferences =
       smoke ? 48
-            : (argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500);
+            : (!positional.empty()
+                   ? static_cast<std::size_t>(std::atoi(positional[0]))
+                   : 500);
   std::size_t threads =
       smoke ? 2
-            : (argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 1);
+            : (positional.size() > 1
+                   ? static_cast<std::size_t>(std::atoi(positional[1]))
+                   : 1);
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -69,11 +90,13 @@ int main(int argc, char** argv) {
 
   double thr_1rw = 0.0, e_1rw = 0.0, area_1rw = 0.0;
   double thr_4r = 0.0, e_4r = 0.0, area_4r = 0.0;
+  std::vector<core::SystemReport> reports;
   for (sram::CellKind kind : sram::kAllCellKinds) {
     arch::SystemConfig hw;
     hw.cell = kind;
     core::EsamSystem system(model, hw);
     const core::SystemReport r = system.evaluate(inferences, run_cfg);
+    reports.push_back(r);
     table.row({r.cell, util::fmt("%.0f", r.clock_mhz),
                util::fmt("%.1f", r.throughput_minf_per_s),
                util::fmt("%.0f", r.energy_per_inf_pj),
@@ -125,6 +148,79 @@ int main(int argc, char** argv) {
         "\nsimulator speedup (1RW+4R, %zu inferences): %.2fs @ 1 thread -> "
         "%.2fs @ %zu threads = %.2fx\n",
         inferences, t1, tn, threads, tn > 0.0 ? t1 / tn : 0.0);
+  }
+
+  if (!json_path.empty()) {
+    // Within-run simulator speedup: the optimized configuration (pipelined
+    // engine + active SIMD backend) against the pre-optimization reference
+    // (sequential lockstep engine + scalar kernels) on the flagship 1RW+4R
+    // cell. Being a ratio of two same-host measurements it is comparable
+    // across machines, so check_bench.py gates it.
+    namespace simd = util::simd;
+    arch::SystemConfig hw;
+    core::EsamSystem system(model, hw);
+    // Enough inferences for a stable wall-clock ratio even in --smoke, and
+    // best-of-3 to shed scheduler noise.
+    const std::size_t ratio_inferences =
+        std::max<std::size_t>(inferences, smoke ? 20000 : 2000);
+    const auto best_of_3 = [&](const arch::RunConfig& cfg) {
+      double best = wall_seconds_of_run(system, ratio_inferences, cfg);
+      for (int rep = 0; rep < 2; ++rep) {
+        best =
+            std::min(best, wall_seconds_of_run(system, ratio_inferences, cfg));
+      }
+      return best;
+    };
+    const simd::Backend saved = simd::active_backend();
+    simd::set_active_backend(simd::Backend::kScalar);
+    arch::RunConfig ref_cfg = run_cfg;
+    ref_cfg.engine = arch::ExecutionEngine::kSequential;
+    const double t_ref = best_of_3(ref_cfg);
+    simd::set_active_backend(saved);
+    const double t_opt = best_of_3(run_cfg);
+    const double speedup = t_opt > 0.0 ? t_ref / t_opt : 0.0;
+    std::printf(
+        "\noptimized vs reference engine (1RW+4R, %zu inferences): "
+        "%.3fs sequential+scalar -> %.3fs pipelined+%s = %.2fx\n",
+        ratio_inferences, t_ref, t_opt, simd::active_backend_name(), speedup);
+
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig8_system\",\n");
+    std::fprintf(f, "  \"simd_backend\": \"%s\",\n",
+                 simd::active_backend_name());
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"inferences\": %zu,\n", inferences);
+    std::fprintf(f, "  \"metrics\": {\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const core::SystemReport& r = reports[i];
+      std::fprintf(f,
+                   "    \"%s.accuracy\": %.17g,\n"
+                   "    \"%s.energy_per_inf_pj\": %.17g,\n"
+                   "    \"%s.power_mw\": %.17g,\n"
+                   "    \"%s.area_um2\": %.17g,\n"
+                   "    \"%s.avg_cycles_per_inf\": %.17g,\n"
+                   "    \"%s.throughput_minf_per_s\": %.17g%s\n",
+                   r.cell.c_str(), r.accuracy, r.cell.c_str(),
+                   r.energy_per_inf_pj, r.cell.c_str(), r.power_mw,
+                   r.cell.c_str(), r.area_um2, r.cell.c_str(),
+                   r.avg_cycles_per_inf, r.cell.c_str(),
+                   r.throughput_minf_per_s,
+                   i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n  \"ratios\": {\n");
+    std::fprintf(f, "    \"optimized_over_reference\": %.17g\n", speedup);
+    std::fprintf(f, "  },\n  \"info\": {\n");
+    std::fprintf(f, "    \"sim_inf_per_s\": %.17g,\n",
+                 reports.empty() ? 0.0 : reports.back().sim_inf_per_s);
+    std::fprintf(f, "    \"reference_wall_s\": %.17g,\n", t_ref);
+    std::fprintf(f, "    \"optimized_wall_s\": %.17g\n", t_opt);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -1,171 +1,241 @@
-// K1: google-benchmark microbenchmarks of the simulator kernels -- arbiter
-// grant loops, SRAM row reads, tile cycles and full-pipeline inference.
-// These measure the *reproduction's* software performance (how fast the
-// simulator itself runs), not the modelled hardware.
-#include <benchmark/benchmark.h>
+// K1: microbenchmarks of the simulator kernels -- SIMD bit-kernels, arbiter
+// grant loops, SRAM row reads and the two batch execution engines. These
+// measure the *reproduction's* software performance (how fast the simulator
+// itself runs), not the modelled hardware.
+//
+// Self-contained steady_clock harness (no external benchmark framework), so
+// the binary always builds and can feed the benchmark-regression gate.
+// Absolute ns/op numbers are host-dependent and reported as information
+// only; the within-run speedup *ratios* (SIMD backend vs scalar, pipelined
+// engine vs sequential) are what scripts/check_bench.py gates, since they
+// are comparable across hosts.
+//
+// Usage: bench_kernel_microbench [--smoke] [--json PATH]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "esam/arch/system.hpp"
 #include "esam/tech/technology.hpp"
 #include "esam/util/rng.hpp"
+#include "esam/util/simd.hpp"
 
 namespace {
 
 using namespace esam;
 
-void BM_PriorityEncoder(benchmark::State& state) {
-  const auto width = static_cast<std::size_t>(state.range(0));
-  arbiter::PriorityEncoder pe(width);
-  util::Rng rng(1);
-  util::BitVec req(width);
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times `op` (which runs `inner` operations per call): doubles the batch
+/// until the measurement window is long enough, then reports ns/op.
+template <typename F>
+double ns_per_op(F&& op, double min_window_s, std::size_t inner = 1) {
+  std::size_t batch = 1;
+  for (;;) {
+    const double t0 = now_seconds();
+    for (std::size_t i = 0; i < batch; ++i) op();
+    const double dt = now_seconds() - t0;
+    if (dt >= min_window_s || batch >= (std::size_t{1} << 30)) {
+      return dt * 1e9 /
+             (static_cast<double>(batch) * static_cast<double>(inner));
+    }
+    batch = dt <= 0.0 ? batch * 8 : batch * 2;
+  }
+}
+
+struct Metric {
+  std::string name;
+  double value;
+};
+
+util::BitVec random_bits(std::size_t width, std::uint64_t seed,
+                         double density) {
+  util::Rng rng(seed);
+  util::BitVec v(width);
   for (std::size_t i = 0; i < width; ++i) {
-    if (rng.bernoulli(0.2)) req.set(i);
+    if (rng.bernoulli(density)) v.set(i);
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pe.encode(req));
-  }
-}
-BENCHMARK(BM_PriorityEncoder)->Arg(128)->Arg(256)->Arg(1024);
-
-void BM_ArbiterDrain(benchmark::State& state) {
-  const auto ports = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(2);
-  util::BitVec req(128);
-  for (std::size_t i = 0; i < 128; ++i) {
-    if (rng.bernoulli(0.3)) req.set(i);
-  }
-  arbiter::MultiPortArbiter arb(128, ports);
-  for (auto _ : state) {
-    arb.reset();
-    arb.request(req);
-    while (!arb.r_empty()) {
-      benchmark::DoNotOptimize(arb.arbitrate());
-    }
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(req.count()));
-}
-BENCHMARK(BM_ArbiterDrain)->Arg(1)->Arg(4);
-
-void BM_SramRowRead(benchmark::State& state) {
-  sram::SramMacro macro(tech::imec3nm(),
-                        sram::BitcellSpec::of(sram::CellKind::k1RW4R), {},
-                        util::millivolts(500.0));
-  std::size_t row = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(macro.read_row(row % 4, row % 128));
-    ++row;
-  }
-}
-BENCHMARK(BM_SramRowRead);
-
-void BM_SramColumnUpdate(benchmark::State& state) {
-  sram::SramMacro macro(tech::imec3nm(),
-                        sram::BitcellSpec::of(sram::CellKind::k1RW4R), {},
-                        util::millivolts(500.0));
-  util::BitVec col(128);
-  for (std::size_t i = 0; i < 128; i += 3) col.set(i);
-  std::size_t c = 0;
-  for (auto _ : state) {
-    macro.write_column(c % 128, col);
-    benchmark::DoNotOptimize(macro.read_column(c % 128));
-    ++c;
-  }
-}
-BENCHMARK(BM_SramColumnUpdate);
-
-nn::SnnNetwork make_paper_snn() {
-  util::Rng rng(3);
-  nn::BnnNetwork bnn({768, 256, 256, 256, 10}, rng);
-  return nn::SnnNetwork::from_bnn(bnn);
+  return v;
 }
 
-void BM_PipelinedInference(benchmark::State& state) {
-  const nn::SnnNetwork snn = make_paper_snn();
-  arch::SystemSimulator sim(tech::imec3nm(), snn, {});
-  util::Rng rng(4);
-  std::vector<util::BitVec> inputs;
-  for (int i = 0; i < 16; ++i) {
-    util::BitVec v(768);
-    for (std::size_t k = 0; k < 768; ++k) {
-      if (rng.bernoulli(0.19)) v.set(k);
-    }
-    inputs.push_back(std::move(v));
+std::vector<util::BitVec> random_inputs(std::size_t n, std::size_t width,
+                                        std::uint64_t seed, double density) {
+  std::vector<util::BitVec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(random_bits(width, seed + i, density));
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run(inputs));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+  return out;
 }
-BENCHMARK(BM_PipelinedInference)->Unit(benchmark::kMillisecond);
 
-void BM_BitVecAndCount(benchmark::State& state) {
-  const auto width = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(6);
-  util::BitVec a(width), b(width);
-  for (std::size_t i = 0; i < width; ++i) {
-    if (rng.bernoulli(0.5)) a.set(i);
-    if (rng.bernoulli(0.5)) b.set(i);
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.and_count(b));
-  }
-}
-BENCHMARK(BM_BitVecAndCount)->Arg(128)->Arg(1024)->Arg(8192);
-
-void BM_BitVecForEachSet(benchmark::State& state) {
-  util::Rng rng(7);
-  util::BitVec v(1024);
-  for (std::size_t i = 0; i < 1024; ++i) {
-    if (rng.bernoulli(0.2)) v.set(i);
-  }
-  for (auto _ : state) {
-    std::size_t sum = 0;
-    v.for_each_set([&sum](std::size_t i) { sum += i; });
-    benchmark::DoNotOptimize(sum);
-  }
-}
-BENCHMARK(BM_BitVecForEachSet);
-
-void BM_BatchedInference(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  const nn::SnnNetwork snn = make_paper_snn();
-  arch::SystemSimulator sim(tech::imec3nm(), snn, {});
-  util::Rng rng(8);
-  std::vector<util::BitVec> inputs;
-  for (int i = 0; i < 64; ++i) {
-    util::BitVec v(768);
-    for (std::size_t k = 0; k < 768; ++k) {
-      if (rng.bernoulli(0.19)) v.set(k);
-    }
-    inputs.push_back(std::move(v));
-  }
-  const arch::RunConfig cfg{.num_threads = threads, .batch_size = 8};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run_batched(inputs, nullptr, cfg));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
-}
-BENCHMARK(BM_BatchedInference)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
-
-void BM_SoftwareSnnPredict(benchmark::State& state) {
-  const nn::SnnNetwork snn = make_paper_snn();
-  util::Rng rng(5);
-  util::BitVec input(768);
-  for (std::size_t k = 0; k < 768; ++k) {
-    if (rng.bernoulli(0.19)) input.set(k);
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(snn.predict(input));
-  }
-}
-BENCHMARK(BM_SoftwareSnnPredict);
+volatile std::size_t g_sink;  // defeats dead-code elimination
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+  const double window = smoke ? 0.002 : 0.05;
+
+  namespace simd = util::simd;
+  std::printf("K1 -- simulator kernel microbenchmarks\n");
+  std::printf("SIMD backend: %s (available:", simd::active_backend_name());
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (simd::available(b)) std::printf(" %s", simd::backend_name(b));
+  }
+  std::printf(")\n\n");
+
+  std::vector<Metric> host_ns;
+  std::vector<Metric> ratios;
+
+  // --- SIMD kernels: active backend vs scalar reference ---------------------
+  {
+    const util::BitVec a = random_bits(1024, 11, 0.5);
+    const util::BitVec b = random_bits(1024, 12, 0.5);
+    const util::BitVec row = random_bits(128, 13, 0.5);
+    std::vector<std::int32_t> ones(128, 0);
+    const simd::Kernels& act = simd::active();
+    const simd::Kernels& ref = simd::scalar_kernels();
+
+    struct KernelCase {
+      const char* name;
+      double active_ns;
+      double scalar_ns;
+    };
+    std::vector<KernelCase> cases;
+    cases.push_back(
+        {"bitvec_count_1024",
+         ns_per_op([&] { g_sink = act.count(a.words().data(), 16); }, window),
+         ns_per_op([&] { g_sink = ref.count(a.words().data(), 16); }, window)});
+    cases.push_back(
+        {"bitvec_and_count_1024",
+         ns_per_op(
+             [&] {
+               g_sink = act.and_count(a.words().data(), b.words().data(), 16);
+             },
+             window),
+         ns_per_op(
+             [&] {
+               g_sink = ref.and_count(a.words().data(), b.words().data(), 16);
+             },
+             window)});
+    cases.push_back({"accumulate_ones_128",
+                     ns_per_op(
+                         [&] {
+                           act.accumulate_ones(row.words().data(), 2,
+                                               ones.data());
+                         },
+                         window),
+                     ns_per_op(
+                         [&] {
+                           ref.accumulate_ones(row.words().data(), 2,
+                                               ones.data());
+                         },
+                         window)});
+    std::printf("%-28s %12s %12s %9s\n", "kernel", "active ns/op",
+                "scalar ns/op", "speedup");
+    for (const KernelCase& c : cases) {
+      const double speedup = c.scalar_ns / c.active_ns;
+      std::printf("%-28s %12.2f %12.2f %8.2fx\n", c.name, c.active_ns,
+                  c.scalar_ns, speedup);
+      host_ns.push_back({c.name, c.active_ns});
+      ratios.push_back({std::string(c.name) + "_simd_speedup", speedup});
+    }
+  }
+
+  // --- arbiter + SRAM hot ops ----------------------------------------------
+  {
+    const util::BitVec req = random_bits(128, 14, 0.3);
+    arbiter::MultiPortArbiter arb(128, 4);
+    arbiter::GrantSet grants;
+    const double drain_ns = ns_per_op(
+        [&] {
+          arb.reset();
+          arb.request(req);
+          while (!arb.r_empty()) arb.arbitrate_into(grants);
+        },
+        window);
+    host_ns.push_back({"arbiter_drain_128_p4", drain_ns});
+
+    sram::SramMacro macro(tech::imec3nm(),
+                          sram::BitcellSpec::of(sram::CellKind::k1RW4R), {},
+                          util::millivolts(500.0));
+    util::BitVec out(128);
+    std::size_t r = 0;
+    const double read_ns = ns_per_op(
+        [&] {
+          macro.read_row_into(r % 4, r % 128, out);
+          ++r;
+        },
+        window);
+    host_ns.push_back({"sram_row_read_into", read_ns});
+    std::printf("%-28s %12.2f\n", "arbiter_drain_128_p4", drain_ns);
+    std::printf("%-28s %12.2f\n", "sram_row_read_into", read_ns);
+  }
+
+  // --- execution engines: pipelined vs sequential tile walk -----------------
+  {
+    util::Rng rng(3);
+    const std::vector<std::size_t> shape =
+        smoke ? std::vector<std::size_t>{768, 64, 10}
+              : std::vector<std::size_t>{768, 256, 256, 256, 10};
+    nn::BnnNetwork bnn(shape, rng);
+    const nn::SnnNetwork snn = nn::SnnNetwork::from_bnn(bnn);
+    arch::SystemSimulator sim(tech::imec3nm(), snn, {});
+    const auto inputs = random_inputs(smoke ? 8 : 16, 768, 100, 0.19);
+
+    arch::RunConfig seq_cfg;
+    seq_cfg.engine = arch::ExecutionEngine::kSequential;
+    arch::RunConfig pipe_cfg;
+    pipe_cfg.engine = arch::ExecutionEngine::kPipelined;
+    const double seq_ns = ns_per_op(
+        [&] { g_sink = sim.run_batched(inputs, nullptr, seq_cfg).cycles; },
+        smoke ? 0.0 : window, inputs.size());
+    const double pipe_ns = ns_per_op(
+        [&] { g_sink = sim.run_batched(inputs, nullptr, pipe_cfg).cycles; },
+        smoke ? 0.0 : window, inputs.size());
+    const double speedup = seq_ns / pipe_ns;
+    std::printf("\n%-28s %12.0f ns/inference\n", "engine_sequential", seq_ns);
+    std::printf("%-28s %12.0f ns/inference\n", "engine_pipelined", pipe_ns);
+    std::printf("%-28s %11.2fx\n", "pipelined_speedup", speedup);
+    host_ns.push_back({"engine_sequential_ns_per_inf", seq_ns});
+    host_ns.push_back({"engine_pipelined_ns_per_inf", pipe_ns});
+    ratios.push_back({"pipelined_over_sequential", speedup});
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"kernel_microbench\",\n");
+    std::fprintf(f, "  \"simd_backend\": \"%s\",\n",
+                 simd::active_backend_name());
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"info\": {\n");
+    for (std::size_t i = 0; i < host_ns.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.17g%s\n", host_ns[i].name.c_str(),
+                   host_ns[i].value, i + 1 < host_ns.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n  \"ratios\": {\n");
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.17g%s\n", ratios[i].name.c_str(),
+                   ratios[i].value, i + 1 < ratios.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -59,6 +59,15 @@ class MultiPortArbiter {
   /// (removing them from the pending vector) and reports R_empty.
   GrantSet arbitrate();
 
+  /// Allocation-free arbitrate: overwrites `out`, reusing its grant-row
+  /// storage (the tile step loop keeps one GrantSet per pipeline). The
+  /// fixed-priority path grants the `ports` lowest-index pending requests
+  /// with word-packed find-first scans -- functionally identical to the
+  /// cascaded PriorityEncoder evaluation (each 1-port stage grants the
+  /// lowest remaining index), pinned by a differential test against the
+  /// structural encoder cascade.
+  void arbitrate_into(GrantSet& out);
+
   /// Cycles needed to drain `spikes` requests at full port utilization.
   [[nodiscard]] std::size_t drain_cycles(std::size_t spikes) const;
 

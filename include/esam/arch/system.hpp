@@ -41,10 +41,27 @@ struct AreaBreakdown {
   Area total{};  ///< including clock/fabric overhead
 };
 
+/// How the simulator software executes one batch stream. Both engines model
+/// the *same* hardware schedule and produce bit-identical predictions,
+/// cycle counts and ledger energies (pinned by tests/test_parallel.cpp and
+/// tests/test_engine_equivalence.cpp); they differ only in how fast the
+/// simulation itself runs.
+enum class ExecutionEngine : std::uint8_t {
+  /// Software-pipelined: each tile runs each sample to completion in a
+  /// burst (stage-major), and the cascaded-tile cycle schedule -- fills,
+  /// stalls, in-order retirement -- is reconstructed from the per-stage
+  /// busy-cycle counts. Much faster: no per-cycle sweep over idle tiles,
+  /// each tile's working set stays hot while it bursts.
+  kPipelined,
+  /// Cycle-by-cycle lockstep sweep over all tiles (the reference engine;
+  /// also the only engine with PipelineObserver support).
+  kSequential,
+};
+
 /// Execution configuration of the batched engine. This is a *simulation
 /// software* concern (how fast the simulator itself runs), not a hardware
 /// model parameter: the modelled cycle counts and energies depend only on
-/// `batch_size`, never on `num_threads`.
+/// `batch_size`, never on `num_threads` or `engine`.
 struct RunConfig {
   /// Worker threads sharding the batches; 0 = hardware concurrency.
   std::size_t num_threads = 1;
@@ -54,6 +71,8 @@ struct RunConfig {
   /// batch size. Each batch pays its own pipeline fill/drain, so modelled
   /// cycles and energies depend on this value and on nothing else here.
   std::size_t batch_size = 0;
+  /// Simulation engine for each batch stream (results are identical).
+  ExecutionEngine engine = ExecutionEngine::kPipelined;
 
   /// Suggested batch size for frontends that want parallelism without
   /// exposing the knob (the CLI's --threads defaults --batch to this).
@@ -213,13 +232,34 @@ class SystemSimulator {
   void import_network(const nn::SnnNetwork& snn);
 
  private:
-  /// One per-batch pipeline stream over `tiles` (the core loop shared by
-  /// run() and run_batched()). Appends predictions and adds cycles/energy
-  /// into the out-parameters.
+  /// One per-batch pipeline stream over `tiles`, executed cycle-by-cycle in
+  /// lockstep (ExecutionEngine::kSequential; the core loop of run() and the
+  /// only path with observer support). Appends predictions and adds
+  /// cycles/energy into the out-parameters. Energy accounting: each tile
+  /// posts into its own stage ledger, merged in tile order, with the clock
+  /// tree and leakage integrated in closed form over the batch -- the exact
+  /// scheme of the pipelined engine, so the two are bit-identical.
   void stream_batch(std::vector<Tile>& tiles, std::span<const BitVec> inputs,
                     PipelineObserver* observer,
                     std::vector<std::size_t>& predictions,
                     std::uint64_t& cycles, EnergyLedger& ledger) const;
+
+  /// Software-pipelined equivalent (ExecutionEngine::kPipelined): runs each
+  /// tile over each sample in a burst and reconstructs the lockstep cycle
+  /// schedule from the per-(tile, sample) busy-cycle counts. A tile posts
+  /// energy only while busy and processes samples in order with identical
+  /// per-sample dynamics in both engines, so the per-stage ledger streams
+  /// -- and therefore the merged ledger -- match stream_batch exactly.
+  void stream_batch_pipelined(std::vector<Tile>& tiles,
+                              std::span<const BitVec> inputs,
+                              std::vector<std::size_t>& predictions,
+                              std::uint64_t& cycles,
+                              EnergyLedger& ledger) const;
+  /// Merges the per-stage ledgers and the closed-form clock/leakage of one
+  /// batch into `ledger` (shared tail of both engines).
+  void merge_batch_energy(std::vector<EnergyLedger>& stage_ledgers,
+                          std::uint64_t batch_cycles,
+                          EnergyLedger& ledger) const;
   /// Fills the derived metrics (throughput, energy/inf, power) of `result`.
   void finalize_metrics(RunResult& result, std::size_t n,
                         const std::vector<std::uint8_t>* labels) const;

@@ -196,9 +196,34 @@ class Tile {
   BitVec last_input_;
   std::vector<std::int32_t> fire_vmem_;
   /// Reusable per-column-group row buffers + per-neuron ones counters so the
-  /// step() hot path performs no allocations.
+  /// step() hot path performs no allocations. The ones counters are laid out
+  /// per column group at a word-aligned stride (`ones_stride_`, max_array_dim
+  /// rounded up to a multiple of 64) so the word-parallel accumulate_ones
+  /// kernel can write full 64-counter blocks without clobbering the next
+  /// group; the pad counters only ever accumulate the zero tail bits.
   std::vector<BitVec> row_scratch_;
   std::vector<std::int32_t> ones_scratch_;
+  std::size_t ones_stride_ = 0;
+  /// Reusable grant storage (arbitrate_into) and per-row-group input-slice
+  /// buffers (start_inference), also allocation-free after construction.
+  arbiter::GrantSet grant_scratch_;
+  std::vector<BitVec> input_slice_scratch_;
+
+  // Energy values that are pure functions of the static configuration,
+  // precomputed at construction so the per-cycle loop posts cached values
+  // instead of re-running the analytic models (bit-identical: the same
+  // expressions evaluated once).
+  /// Decoder/driver + port-latch energy of one granted read, per col group.
+  std::vector<Energy> row_read_extra_;
+  /// Macro control energy of one cycle with >= 1 grant (all col groups).
+  Energy macro_control_energy_;
+  /// arbiter cycle_energy(pending, grants), flattened at stride ports + 1.
+  std::vector<Energy> arb_cycle_energy_;
+  std::size_t arb_ports_ = 0;
+  /// neuron accumulate_energy(total_grants) * outputs, per grant count.
+  std::vector<Energy> accumulate_energy_;
+  /// neuron compare_energy() * outputs.
+  Energy compare_energy_total_;
 };
 
 }  // namespace esam::arch

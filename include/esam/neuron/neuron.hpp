@@ -44,12 +44,23 @@ class IfNeuron {
   void integrate(std::span<const bool> bits, std::span<const bool> valid);
 
   /// Accumulates a pre-summed contribution (fast path for the simulator;
-  /// semantically identical to integrate()).
-  void integrate_sum(std::int32_t delta);
+  /// semantically identical to integrate()). Inline: the simulator calls
+  /// this once per neuron per busy cycle.
+  void integrate_sum(std::int32_t delta) {
+    std::int32_t v = vmem_ + delta;
+    v = v < sat_min_ ? sat_min_ : v;
+    vmem_ = v > sat_max_ ? sat_max_ : v;
+  }
 
   /// R_empty handling: compares Vmem >= Vth, sets the output request and
   /// resets Vmem when firing. Returns the new request state.
-  bool on_r_empty();
+  bool on_r_empty() {
+    if (vmem_ >= vth_) {
+      request_ = true;
+      vmem_ = 0;
+    }
+    return request_;
+  }
 
   /// Pending output-spike request r.
   [[nodiscard]] bool request() const { return request_; }
@@ -57,7 +68,10 @@ class IfNeuron {
   void grant() { request_ = false; }
 
   /// Resets membrane and request (new inference).
-  void reset();
+  void reset() {
+    vmem_ = 0;
+    request_ = false;
+  }
 
   [[nodiscard]] std::int32_t saturation_max() const { return sat_max_; }
   [[nodiscard]] std::int32_t saturation_min() const { return sat_min_; }

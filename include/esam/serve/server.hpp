@@ -39,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -65,6 +66,12 @@ struct ServerConfig {
   std::size_t adapt_batch = 32;
   /// Learning configuration of the adaptation engine's mutable model copy.
   learning::TrainerConfig trainer{};
+  /// Receives one-line operational log messages (the startup banner with
+  /// the worker count and active SIMD kernel backend). nullptr routes to
+  /// stderr -- same plain pointer + context idiom as nn::TrainConfig's
+  /// log_sink, keeping the config trivially copyable.
+  void (*log_sink)(const std::string& line, void* ctx) = nullptr;
+  void* log_ctx = nullptr;
 };
 
 /// What a client gets back for one request.
@@ -166,6 +173,8 @@ class InferenceServer {
     std::uint64_t version = 0;
   };
 
+  /// Routes an operational log line to cfg_.log_sink (stderr by default).
+  void log_line(const std::string& line) const;
   void worker_loop()
       ESAM_EXCLUDES(queue_mutex_, model_mutex_, adapt_mutex_, stats_mutex_);
   void adapt_loop()

@@ -123,6 +123,12 @@ class SramMacro {
   void observed_row_into(std::size_t row, BitVec& out) const;
 
   SramTimingModel timing_;
+  /// Cached timing_.inference_row_read_energy(): the timing model is
+  /// immutable after construction and the analytic recompute (wire RC,
+  /// bitline caps) dominated the per-read hot path.
+  util::Energy inference_read_energy_;
+  /// Cached max(spec.read_ports, 1) for the per-read port check.
+  std::size_t usable_ports_;
   std::vector<BitVec> bits_;  // [row] -> cols
   /// Per-row stuck-at masks; empty vectors when no faults are injected.
   std::vector<BitVec> stuck0_;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -33,6 +34,14 @@ class BitVec {
 
   [[nodiscard]] bool test(std::size_t i) const {
     check_index(i);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Bounds-unchecked test (assert-guarded): for kernel loops whose index
+  /// range was validated once at entry, where the per-call throw check of
+  /// test() is measurable (priority-encoder scans, word-walk loops).
+  [[nodiscard]] bool test_unchecked(std::size_t i) const {
+    assert(i < size_);
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
 
@@ -92,6 +101,12 @@ class BitVec {
   /// spike vector. Requires offset + len <= size().
   [[nodiscard]] BitVec slice(std::size_t offset, std::size_t len) const;
 
+  /// Allocation-free slice: overwrites `out` (whose width selects the
+  /// slice length) with the bits at [offset, offset + out.size()). The
+  /// tile hot path uses this to load per-row-group arbiter requests from
+  /// the tile-wide spike vector without constructing a BitVec per call.
+  void slice_into(std::size_t offset, BitVec& out) const;
+
   /// *this &= ~o (clears every bit that is set in `o`).
   BitVec& andnot_assign(const BitVec& o);
 
@@ -119,6 +134,14 @@ class BitVec {
   [[nodiscard]] const std::vector<std::uint64_t>& words() const {
     return words_;
   }
+
+  /// Bounds-unchecked word access (assert-guarded), for word-walk loops
+  /// that validated the range once.
+  [[nodiscard]] std::uint64_t word(std::size_t wi) const {
+    assert(wi < words_.size());
+    return words_[wi];
+  }
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
 
  private:
   void check_index(std::size_t i) const {

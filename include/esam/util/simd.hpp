@@ -1,0 +1,96 @@
+// Runtime-dispatched SIMD backends for the BitVec / tile hot kernels.
+//
+// Every kernel operates on raw 64-bit word spans (the BitVec storage
+// format: little-endian bit order within each word, tail bits beyond the
+// logical width kept zero). A backend is one table of function pointers;
+// the scalar table is the portable reference, and the AVX2 / NEON tables
+// are compiled only when the target ISA is available at build time and
+// selected at startup only when the running CPU supports it.
+//
+// Selection happens once, on first use: the `ESAM_SIMD` environment
+// variable (`scalar`, `avx2`, `neon`) overrides auto-detection, and an
+// unavailable request falls back to scalar. Tests and the CLI may switch
+// the active backend explicitly via set_active_backend(); the active
+// pointer is atomic so concurrent readers (batched-engine workers) always
+// observe a complete table.
+//
+// All backends are exact drop-in replacements: for every input the result
+// is bit-identical to the scalar reference (pinned by the randomized
+// differential tests in tests/test_simd.cpp), so modelled numbers never
+// depend on the backend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace esam::util::simd {
+
+enum class Backend : std::uint8_t { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// One backend's kernel table. `n` is always a count of 64-bit words;
+/// callers guarantee equal-length operands (BitVec enforces width equality
+/// before dispatching).
+struct Kernels {
+  const char* name;
+
+  /// popcount over `n` words.
+  std::size_t (*count)(const std::uint64_t* w, std::size_t n);
+  /// popcount(a & b) without materializing the intermediate.
+  std::size_t (*and_count)(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n);
+  /// a &= b, a |= b, a ^= b, a &= ~b.
+  void (*and_assign)(std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+  void (*or_assign)(std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+  void (*xor_assign)(std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+  void (*andnot_assign)(std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n);
+  /// Fused mask-expand add: ones[64*wi + b] += bit b of w[wi], for all
+  /// 64*n counters. Replaces the per-set-bit counter scatter in the tile
+  /// accumulation loops. The caller must provide 64*n writable counters
+  /// (round the logical width up to the word boundary); tail bits beyond
+  /// the logical width are zero by the BitVec invariant, so the padded
+  /// counters only ever accumulate zeros.
+  void (*accumulate_ones)(const std::uint64_t* w, std::size_t n,
+                          std::int32_t* ones);
+  /// Saturating membrane update over `n` *counters* (not words):
+  /// vmem[i] = clamp(vmem[i] + 2*ones[i] - grants, lo, hi).
+  void (*integrate_saturating)(std::int32_t* vmem, const std::int32_t* ones,
+                               std::int32_t grants, std::int32_t lo,
+                               std::int32_t hi, std::size_t n);
+};
+
+/// The portable reference table (always available).
+const Kernels& scalar_kernels();
+
+/// Table for `b`, or nullptr when that backend is not compiled in or the
+/// CPU lacks the ISA. kScalar always resolves.
+const Kernels* kernels_for(Backend b);
+
+[[nodiscard]] bool available(Backend b);
+
+/// The active table. First call selects: `ESAM_SIMD` env override if valid
+/// and available, otherwise the best available backend for this CPU.
+const Kernels& active();
+
+[[nodiscard]] Backend active_backend();
+[[nodiscard]] const char* active_backend_name();
+
+/// Explicitly selects a backend (CLI --simd flag, differential tests).
+/// Returns false (and leaves the selection unchanged) when unavailable.
+bool set_active_backend(Backend b);
+
+[[nodiscard]] const char* backend_name(Backend b);
+/// Parses "scalar" / "avx2" / "neon".
+[[nodiscard]] std::optional<Backend> parse_backend(std::string_view name);
+
+namespace detail {
+/// Backend tables as compiled: each simd_*.cpp translation unit returns
+/// its table when built with the matching ISA and nullptr otherwise, so
+/// the dispatcher can reference every backend unconditionally.
+const Kernels* avx2_table();
+const Kernels* neon_table();
+}  // namespace detail
+
+}  // namespace esam::util::simd

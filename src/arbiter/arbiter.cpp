@@ -26,16 +26,22 @@ void MultiPortArbiter::request(std::size_t row) {
 
 GrantSet MultiPortArbiter::arbitrate() {
   GrantSet out;
-  out.rows.reserve(ports_);
+  arbitrate_into(out);
+  return out;
+}
+
+void MultiPortArbiter::arbitrate_into(GrantSet& out) {
+  out.rows.clear();
   if (policy_ == ArbiterPolicy::kFixedPriority) {
-    BitVec working = pending_;
+    // Functional equivalent of cascading p 1-port encoders: every stage
+    // grants the lowest remaining index. find_first is a word-packed scan
+    // and reset() a single word write, so the cycle does no allocation.
     for (std::size_t port = 0; port < ports_; ++port) {
-      const EncodeResult enc = encoder_.encode(working);
-      if (enc.no_request) break;
-      out.rows.push_back(enc.grant_index);
-      working = enc.remaining;
+      const std::size_t idx = pending_.find_first();
+      if (idx == pending_.size()) break;
+      out.rows.push_back(idx);
+      pending_.reset(idx);
     }
-    pending_ = working;
   } else {
     // Round robin: a rotate stage presents the vector to the same encoder
     // starting at rr_start_; functionally, scan with wrap-around.
@@ -54,7 +60,6 @@ GrantSet MultiPortArbiter::arbitrate() {
   }
   out.valid_ports = out.rows.size();
   out.r_empty_after = pending_.none();
-  return out;
 }
 
 std::size_t MultiPortArbiter::drain_cycles(std::size_t spikes) const {

@@ -61,8 +61,10 @@ EncodeResult PriorityEncoder::encode(const BitVec& requests) const {
     for (std::size_t b = 0; b < blocks && idx == width_; ++b) {
       const std::size_t lo = b * base_width_;
       const std::size_t hi = std::min(lo + base_width_, width_);
+      // Width was validated at entry; the throwing test() bounds check is
+      // redundant inside the scan.
       for (std::size_t i = lo; i < hi; ++i) {
-        if (requests.test(i)) {
+        if (requests.test_unchecked(i)) {
           idx = i;
           break;
         }

@@ -88,18 +88,29 @@ std::size_t SystemSimulator::synapse_count() const {
   return n;
 }
 
+void SystemSimulator::merge_batch_energy(
+    std::vector<EnergyLedger>& stage_ledgers, std::uint64_t batch_cycles,
+    EnergyLedger& ledger) const {
+  // Tile-order merge, then closed-form clock tree + leakage over the batch.
+  // Both engines produce identical per-stage ledger streams and the same
+  // batch cycle count, and this tail is shared, so the merged result is
+  // bit-for-bit engine-independent.
+  for (const EnergyLedger& stage : stage_ledgers) ledger += stage;
+  const auto cycles_d = static_cast<double>(batch_cycles);
+  ledger.add(util::EnergyCategory::kClock, clock_energy_per_cycle() * cycles_d);
+  ledger.advance_time_with_leakage(clock_period() * cycles_d, total_leakage());
+}
+
 void SystemSimulator::stream_batch(std::vector<Tile>& tiles,
                                    std::span<const BitVec> inputs,
                                    PipelineObserver* observer,
                                    std::vector<std::size_t>& predictions,
                                    std::uint64_t& cycles,
                                    EnergyLedger& ledger) const {
-  for (auto& t : tiles) t.attach_ledger(&ledger);
-
-  // Physical per-cycle constants; identical for every cloned pipeline.
-  const Time period = clock_period();
-  const Power leak = total_leakage();
-  const Energy clock_per_cycle = clock_energy_per_cycle();
+  std::vector<EnergyLedger> stage_ledgers(tiles.size());
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    tiles[i].attach_ledger(&stage_ledgers[i]);
+  }
 
   const std::size_t n = inputs.size();
   const std::size_t last = tiles.size() - 1;
@@ -161,12 +172,75 @@ void SystemSimulator::stream_batch(std::vector<Tile>& tiles,
     if (next_input < n && !tiles[0].busy() && !tiles[0].output_ready()) {
       tiles[0].start_inference(inputs[next_input++]);
     }
-
-    ledger.add(util::EnergyCategory::kClock, clock_per_cycle);
-    ledger.advance_time_with_leakage(period, leak);
   }
 
   for (auto& t : tiles) t.attach_ledger(nullptr);
+  merge_batch_energy(stage_ledgers, batch_cycles, ledger);
+  cycles += batch_cycles;
+}
+
+void SystemSimulator::stream_batch_pipelined(
+    std::vector<Tile>& tiles, std::span<const BitVec> inputs,
+    std::vector<std::size_t>& predictions, std::uint64_t& cycles,
+    EnergyLedger& ledger) const {
+  std::vector<EnergyLedger> stage_ledgers(tiles.size());
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    tiles[i].attach_ledger(&stage_ledgers[i]);
+  }
+
+  const std::size_t n = inputs.size();
+  const std::size_t last = tiles.size() - 1;
+  // Same hang-detector spirit as the lockstep engine, per inference here.
+  constexpr std::uint64_t kStepLimit = std::uint64_t{1} << 20;
+
+  // Schedule reconstruction. A tile's busy-cycle count per sample is
+  // schedule-independent (while stalled waiting for the downstream tile it
+  // holds its output and does nothing), so the lockstep schedule follows
+  // from the burst durations alone:
+  //   latch[0](s)   = s == 0 ? cycle 1 : freed[0](s-1)  (tile 0 re-latches
+  //                   the cycle its previous output was taken);
+  //   fire[t](s)    = latch[t](s) + busy_cycles;
+  //   freed[t](s)   = t == last ? fire (retired immediately, in order)
+  //                   : max(fire[t](s), freed[t+1](s-1))  (the downstream-
+  //                   first handoff scan allows a same-cycle chain);
+  //   latch[t+1](s) = freed[t](s).
+  // The batch ends when the last tile retires the last sample.
+  std::vector<std::uint64_t> freed(tiles.size(), 0);
+  std::uint64_t batch_cycles = 0;
+  BitVec handoff;
+
+  for (std::size_t s = 0; s < n; ++s) {
+    std::uint64_t latch = s == 0 ? 1 : freed[0];
+    const BitVec* spikes = &inputs[s];
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      Tile& tile = tiles[t];
+      tile.start_inference(*spikes);
+      std::uint64_t busy_cycles = 0;
+      while (tile.busy()) {
+        tile.step();
+        if (++busy_cycles > kStepLimit) {
+          throw std::logic_error("SystemSimulator: pipeline deadlock");
+        }
+      }
+      const std::uint64_t fire = latch + busy_cycles;
+      if (t == last) {
+        const std::vector<float> scores = tile.output_scores();
+        predictions.push_back(static_cast<std::size_t>(
+            std::max_element(scores.begin(), scores.end()) - scores.begin()));
+        tile.consume_output();
+        freed[t] = fire;
+        batch_cycles = fire;
+      } else {
+        handoff = tile.take_output();
+        spikes = &handoff;
+        freed[t] = std::max(fire, freed[t + 1]);
+        latch = freed[t];
+      }
+    }
+  }
+
+  for (auto& t : tiles) t.attach_ledger(nullptr);
+  merge_batch_energy(stage_ledgers, batch_cycles, ledger);
   cycles += batch_cycles;
 }
 
@@ -262,9 +336,15 @@ RunResult SystemSimulator::run_batched(const std::vector<BitVec>& inputs,
     const std::size_t first = b * batch_size;
     const std::size_t count = std::min(batch_size, n - first);
     outcomes[b].predictions.reserve(count);
-    stream_batch(tiles, all.subspan(first, count), nullptr,
-                 outcomes[b].predictions, outcomes[b].cycles,
-                 outcomes[b].ledger);
+    if (run_cfg.engine == ExecutionEngine::kPipelined) {
+      stream_batch_pipelined(tiles, all.subspan(first, count),
+                             outcomes[b].predictions, outcomes[b].cycles,
+                             outcomes[b].ledger);
+    } else {
+      stream_batch(tiles, all.subspan(first, count), nullptr,
+                   outcomes[b].predictions, outcomes[b].cycles,
+                   outcomes[b].ledger);
+    }
   };
 
   if (threads <= 1) {

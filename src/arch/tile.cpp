@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "esam/tech/calibration.hpp"
+#include "esam/util/simd.hpp"
 
 namespace esam::arch {
 namespace {
@@ -58,7 +59,38 @@ Tile::Tile(const TechnologyParams& tech, TileConfig cfg)
   for (std::size_t cg = 0; cg < col_groups_; ++cg) {
     row_scratch_.emplace_back(array_cols(cg));
   }
-  ones_scratch_.assign(cfg_.outputs, 0);
+  ones_stride_ = ((cfg_.max_array_dim + 63) / 64) * 64;
+  ones_scratch_.assign(col_groups_ * ones_stride_, 0);
+  grant_scratch_.rows.reserve(ports);
+  input_slice_scratch_.reserve(row_groups_);
+  for (std::size_t rg = 0; rg < row_groups_; ++rg) {
+    input_slice_scratch_.emplace_back(array_rows(rg));
+  }
+
+  // Precompute the per-cycle energy postings (static-configuration values;
+  // identical expressions to the previous per-cycle evaluation).
+  row_read_extra_.reserve(col_groups_);
+  for (std::size_t cg = 0; cg < col_groups_; ++cg) {
+    const double bits = static_cast<double>(array_cols(cg));
+    row_read_extra_.push_back(util::femtojoules(
+        kRowDecodeDriveEnergyFj + kPortLatchEnergyPerBitFj * bits));
+  }
+  macro_control_energy_ = util::femtojoules(kMacroControlEnergyFj *
+                                            static_cast<double>(col_groups_));
+  arb_ports_ = ports;
+  arb_cycle_energy_.reserve((cfg_.max_array_dim + 1) * (ports + 1));
+  for (std::size_t pending = 0; pending <= cfg_.max_array_dim; ++pending) {
+    for (std::size_t g = 0; g <= ports; ++g) {
+      arb_cycle_energy_.push_back(arbiter_model_.cycle_energy(pending, g));
+    }
+  }
+  accumulate_energy_.reserve(row_groups_ * ports + 1);
+  for (std::size_t g = 0; g <= row_groups_ * ports; ++g) {
+    accumulate_energy_.push_back(neuron_model_.accumulate_energy(g) *
+                                 static_cast<double>(cfg_.outputs));
+  }
+  compare_energy_total_ =
+      neuron_model_.compare_energy() * static_cast<double>(cfg_.outputs);
 }
 
 Tile::Tile(const Tile& other)
@@ -79,7 +111,16 @@ Tile::Tile(const Tile& other)
       last_input_(other.last_input_),
       fire_vmem_(other.fire_vmem_),
       row_scratch_(other.row_scratch_),
-      ones_scratch_(other.ones_scratch_) {
+      ones_scratch_(other.ones_scratch_),
+      ones_stride_(other.ones_stride_),
+      grant_scratch_(other.grant_scratch_),
+      input_slice_scratch_(other.input_slice_scratch_),
+      row_read_extra_(other.row_read_extra_),
+      macro_control_energy_(other.macro_control_energy_),
+      arb_cycle_energy_(other.arb_cycle_energy_),
+      arb_ports_(other.arb_ports_),
+      accumulate_energy_(other.accumulate_energy_),
+      compare_energy_total_(other.compare_energy_total_) {
   macros_.reserve(other.macros_.size());
   for (const auto& m : other.macros_) {
     macros_.push_back(std::make_unique<sram::SramMacro>(*m));
@@ -148,10 +189,10 @@ void Tile::start_inference(const BitVec& input_spikes) {
   last_input_.assign(input_spikes);
   for (std::size_t rg = 0; rg < row_groups_; ++rg) {
     arbiters_[rg].reset();
-    const std::size_t row0 = rg * cfg_.max_array_dim;
-    for (std::size_t r = 0; r < array_rows(rg); ++r) {
-      if (input_spikes.test(row0 + r)) arbiters_[rg].request(r);
-    }
+    // Word-packed request latch: funnel-shift the row-group's slice out of
+    // the tile-wide vector instead of a per-bit test() loop.
+    input_spikes.slice_into(rg * cfg_.max_array_dim, input_slice_scratch_[rg]);
+    arbiters_[rg].request(input_slice_scratch_[rg]);
   }
   if (!cfg_.carry_membrane) {
     for (auto& n : neurons_) n.reset();
@@ -178,16 +219,18 @@ void Tile::step() {
   std::fill(ones_scratch_.begin(), ones_scratch_.end(), 0);
   std::size_t total_grants = 0;
   bool all_empty = true;
+  const util::simd::Kernels& kern = util::simd::active();
 
   for (std::size_t rg = 0; rg < row_groups_; ++rg) {
     arbiter::MultiPortArbiter& arb = arbiters_[rg];
     const std::size_t pending_before = arb.pending();
     if (pending_before == 0) continue;
-    const arbiter::GrantSet grants = arb.arbitrate();
+    arb.arbitrate_into(grant_scratch_);
+    const arbiter::GrantSet& grants = grant_scratch_;
     if (ledger_ != nullptr) {
       ledger_->add(util::EnergyCategory::kArbiter,
-                   arbiter_model_.cycle_energy(pending_before,
-                                               grants.valid_ports));
+                   arb_cycle_energy_[pending_before * (arb_ports_ + 1) +
+                                     grants.valid_ports]);
     }
     total_grants += grants.valid_ports;
     stats_.spikes_served += grants.valid_ports;
@@ -202,31 +245,32 @@ void Tile::step() {
         ++stats_.row_reads;
         if (ledger_ != nullptr) {
           // Decoder/driver + port output register, beyond the array access.
-          const double bits = static_cast<double>(m.geometry().cols);
-          ledger_->add(util::EnergyCategory::kSramRead,
-                       util::femtojoules(kRowDecodeDriveEnergyFj +
-                                         kPortLatchEnergyPerBitFj * bits));
+          ledger_->add(util::EnergyCategory::kSramRead, row_read_extra_[cg]);
         }
-        std::int32_t* ones = ones_scratch_.data() + cg * cfg_.max_array_dim;
-        row_bits.for_each_set([ones](std::size_t c) { ++ones[c]; });
+        // Word-parallel counter update: ones[c] += bit c of the row. The
+        // stride-padded scratch absorbs the full 64-counter blocks.
+        kern.accumulate_ones(row_bits.words().data(), row_bits.word_count(),
+                             ones_scratch_.data() + cg * ones_stride_);
       }
     }
     if (ledger_ != nullptr && grants.valid_ports > 0) {
-      ledger_->add(util::EnergyCategory::kClock,
-                   util::femtojoules(kMacroControlEnergyFj *
-                                     static_cast<double>(col_groups_)));
+      ledger_->add(util::EnergyCategory::kClock, macro_control_energy_);
     }
   }
 
   if (total_grants > 0) {
     const auto grants32 = static_cast<std::int32_t>(total_grants);
-    for (std::size_t j = 0; j < cfg_.outputs; ++j) {
-      neurons_[j].integrate_sum(2 * ones_scratch_[j] - grants32);
+    for (std::size_t cg = 0; cg < col_groups_; ++cg) {
+      const std::int32_t* ones = ones_scratch_.data() + cg * ones_stride_;
+      neuron::IfNeuron* col = neurons_.data() + cg * cfg_.max_array_dim;
+      const std::size_t n = array_cols(cg);
+      for (std::size_t c = 0; c < n; ++c) {
+        col[c].integrate_sum(2 * ones[c] - grants32);
+      }
     }
     if (ledger_ != nullptr) {
       ledger_->add(util::EnergyCategory::kNeuron,
-                   neuron_model_.accumulate_energy(total_grants) *
-                       static_cast<double>(cfg_.outputs));
+                   accumulate_energy_[total_grants]);
     }
   }
 
@@ -244,9 +288,7 @@ void Tile::fire_phase() {
     if (neurons_[j].on_r_empty()) output_spikes_.set(j);
   }
   if (ledger_ != nullptr) {
-    ledger_->add(util::EnergyCategory::kNeuron,
-                 neuron_model_.compare_energy() *
-                     static_cast<double>(cfg_.outputs));
+    ledger_->add(util::EnergyCategory::kNeuron, compare_energy_total_);
   }
   busy_ = false;
   output_ready_ = true;

@@ -105,13 +105,11 @@ SystemReport EsamSystem::evaluate(std::size_t max_inferences,
                                    test.labels.begin() +
                                        static_cast<std::ptrdiff_t>(n));
 
-  // batch_size 0 means "one batch covering the whole stream", which the
-  // legacy engine computes identically without cloning pipelines.
-  const bool single_stream = run_cfg.batch_size == 0;
+  // run_batched handles every shape (batch_size 0 = one batch covering the
+  // whole stream, single-threaded included) and honours run_cfg.engine; the
+  // lockstep run() stays the observer/reference path.
   const auto wall_start = std::chrono::steady_clock::now();
-  const arch::RunResult r = single_stream
-                                ? sim_.run(inputs, &labels)
-                                : sim_.run_batched(inputs, &labels, run_cfg);
+  const arch::RunResult r = sim_.run_batched(inputs, &labels, run_cfg);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

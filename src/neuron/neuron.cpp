@@ -62,23 +62,6 @@ void IfNeuron::integrate(std::span<const bool> bits,
   integrate_sum(delta);
 }
 
-void IfNeuron::integrate_sum(std::int32_t delta) {
-  vmem_ = std::clamp(vmem_ + delta, sat_min_, sat_max_);
-}
-
-bool IfNeuron::on_r_empty() {
-  if (vmem_ >= vth_) {
-    request_ = true;
-    vmem_ = 0;
-  }
-  return request_;
-}
-
-void IfNeuron::reset() {
-  vmem_ = 0;
-  request_ = false;
-}
-
 NeuronArrayModel::NeuronArrayModel(const tech::TechnologyParams& tech,
                                    NeuronConfig cfg, std::size_t ports)
     : tech_(&tech), cfg_(cfg), ports_(std::max<std::size_t>(ports, 1)) {}

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "esam/util/simd.hpp"
+
 namespace esam::nn {
 
 SnnNetwork SnnNetwork::from_bnn(const BnnNetwork& bnn) {
@@ -77,15 +79,21 @@ std::vector<std::int32_t> SnnNetwork::accumulate(const SnnLayer& layer,
   }
   // Word-packed: each spiking row adds +1 where its weight bit is 1 and -1
   // elsewhere, so vmem[j] = 2 * ones[j] - #spikes with ones[j] counted by
-  // set-bit iteration instead of a per-bit test() loop.
+  // the word-parallel accumulate_ones kernel. The counter buffer is padded
+  // to the word boundary (the kernel writes 64 counters per weight word;
+  // zero tail bits add zero) and shrunk to the logical width afterwards.
   const std::size_t n_out = layer.out_features();
-  std::vector<std::int32_t> vmem(n_out, 0);
+  const std::size_t padded = ((n_out + 63) / 64) * 64;
+  std::vector<std::int32_t> vmem(padded, 0);
   std::int32_t n_spikes = 0;
   std::int32_t* ones = vmem.data();
+  const util::simd::Kernels& kern = util::simd::active();
   spikes.for_each_set([&](std::size_t i) {
-    layer.weight_rows[i].for_each_set([ones](std::size_t j) { ++ones[j]; });
+    const BitVec& row = layer.weight_rows[i];
+    kern.accumulate_ones(row.words().data(), row.word_count(), ones);
     ++n_spikes;
   });
+  vmem.resize(n_out);
   for (std::size_t j = 0; j < n_out; ++j) {
     vmem[j] = 2 * vmem[j] - n_spikes;
   }

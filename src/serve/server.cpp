@@ -1,8 +1,12 @@
 #include "esam/serve/server.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
+
+#include "esam/util/simd.hpp"
+#include "esam/util/table.hpp"
 
 namespace esam::serve {
 
@@ -46,6 +50,21 @@ void InferenceServer::start() {
   }
   if (cfg_.adapt) {
     adapt_thread_ = std::thread(&InferenceServer::adapt_loop, this);
+  }
+  // Startup banner: which kernel backend the worker pipelines run on is a
+  // deployment-level fact operators need in the logs (ESAM_SIMD overrides
+  // and scalar fallbacks would otherwise be invisible).
+  log_line(util::fmt(
+      "esam serve: %zu worker pipeline(s), SIMD backend %s, max batch %zu%s",
+      cfg_.num_workers, util::simd::active_backend_name(), cfg_.max_batch,
+      cfg_.adapt ? ", background adaptation on" : ""));
+}
+
+void InferenceServer::log_line(const std::string& line) const {
+  if (cfg_.log_sink != nullptr) {
+    cfg_.log_sink(line, cfg_.log_ctx);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 

@@ -9,6 +9,8 @@ SramMacro::SramMacro(const TechnologyParams& tech, BitcellSpec spec,
                      ArrayGeometry geometry, Voltage vprech,
                      bool allow_non_yielding)
     : timing_(tech, spec, geometry, vprech),
+      inference_read_energy_(timing_.inference_row_read_energy()),
+      usable_ports_(spec.read_ports == 0 ? 1 : spec.read_ports),
       bits_(geometry.rows, BitVec(geometry.cols)) {
   if (!allow_non_yielding && !timing_.yielding()) {
     throw std::invalid_argument(
@@ -98,14 +100,12 @@ void SramMacro::load(const std::vector<BitVec>& rows) {
 }
 
 void SramMacro::account_inference_read(std::size_t port) {
-  const std::size_t usable_ports =
-      spec().read_ports == 0 ? 1 : spec().read_ports;
-  if (port >= usable_ports) {
+  if (port >= usable_ports_) {
     throw std::out_of_range("SramMacro: read port " + std::to_string(port) +
                             " out of range");
   }
   ++stats_.inference_row_reads;
-  post(util::EnergyCategory::kSramRead, timing_.inference_row_read_energy());
+  post(util::EnergyCategory::kSramRead, inference_read_energy_);
 }
 
 BitVec SramMacro::read_row(std::size_t port, std::size_t row) {

@@ -33,6 +33,7 @@
 #include "esam/serve/server.hpp"
 #include "esam/sram/timing.hpp"
 #include "esam/util/parse.hpp"
+#include "esam/util/simd.hpp"
 #include "esam/util/table.hpp"
 
 using namespace esam;
@@ -67,6 +68,8 @@ enum class OptId {
   kMaxDelayUs,
   kAdapt,
   kAdaptBatch,
+  kSimd,
+  kEngine,
 };
 
 struct OptionDef {
@@ -127,6 +130,12 @@ const OptionDef kOptionTable[] = {
      "checkpoints while serving"},
     {OptId::kAdaptBatch, "--adapt-batch", "N",
      "labeled samples per adaptation round (default 32)"},
+    {OptId::kSimd, "--simd", "NAME",
+     "kernel backend: scalar | avx2 | neon (default: best available; the "
+     "ESAM_SIMD env var sets the same thing)"},
+    {OptId::kEngine, "--engine", "NAME",
+     "batch execution engine: pipe | seq (default pipe; modelled results "
+     "are bit-identical, seq is the slow lockstep reference)"},
 };
 
 const OptionDef* find_option(const std::string& flag) {
@@ -160,6 +169,7 @@ struct CliOptions {
   double max_delay_us = 200.0;
   bool adapt = false;
   std::size_t adapt_batch = 32;
+  arch::ExecutionEngine engine = arch::ExecutionEngine::kPipelined;
 
   /// True when any batched-engine option was given.
   [[nodiscard]] bool batched() const { return threads != 1 || batch != 0; }
@@ -169,7 +179,8 @@ struct CliOptions {
     const std::size_t effective_batch =
         (threads != 1 && batch == 0) ? arch::RunConfig::kDefaultBatchSize
                                      : batch;
-    return {.num_threads = threads, .batch_size = effective_batch};
+    return {.num_threads = threads, .batch_size = effective_batch,
+            .engine = engine};
   }
 };
 
@@ -220,13 +231,14 @@ const VerbDef kVerbs[] = {
      {OptId::kCell, OptId::kVprech, OptId::kInferences, OptId::kTrace,
       OptId::kLowPower, OptId::kThreads, OptId::kBatch, OptId::kLearn,
       OptId::kEpochs, OptId::kDrift, OptId::kHiddenRule, OptId::kWtaK,
-      OptId::kHoldout},
+      OptId::kHoldout, OptId::kSimd, OptId::kEngine},
      cmd_report},
     {"sweep-cells", "", "all five cells side by side (Fig. 8)",
      "Evaluates the same trained model on every bitcell variant and prints\n"
      "the Fig. 8 comparison table.",
      0, 0,
-     {OptId::kVprech, OptId::kInferences, OptId::kThreads, OptId::kBatch},
+     {OptId::kVprech, OptId::kInferences, OptId::kThreads, OptId::kBatch,
+      OptId::kSimd, OptId::kEngine},
      cmd_sweep_cells},
     {"sweep-vprech", "", "the Fig. 7 precharge-voltage study",
      "Analytic per-op access time/energy across precharge voltages and read\n"
@@ -249,7 +261,7 @@ const VerbDef kVerbs[] = {
      {OptId::kCell, OptId::kVprech, OptId::kLowPower, OptId::kInferences,
       OptId::kThreads, OptId::kBatch, OptId::kLearn, OptId::kEpochs,
       OptId::kDrift, OptId::kHiddenRule, OptId::kWtaK, OptId::kHoldout,
-      OptId::kNote},
+      OptId::kNote, OptId::kSimd, OptId::kEngine},
      cmd_checkpoint},
     {"serve", "", "in-process inference-server demo",
      "Deploys a model (--checkpoint FILE, or the trained/cached model) into\n"
@@ -265,7 +277,7 @@ const VerbDef kVerbs[] = {
      {OptId::kCell, OptId::kVprech, OptId::kLowPower, OptId::kInferences,
       OptId::kCheckpoint, OptId::kClients, OptId::kRequests, OptId::kWorkers,
       OptId::kMaxBatch, OptId::kMaxDelayUs, OptId::kAdapt, OptId::kAdaptBatch,
-      OptId::kHiddenRule, OptId::kWtaK},
+      OptId::kHiddenRule, OptId::kWtaK, OptId::kSimd},
      cmd_serve},
     {"help", "[verb]", "this overview, or one verb's options",
      "Prints the verb table, or the usage, description and accepted options\n"
@@ -492,6 +504,42 @@ std::optional<ParsedArgs> parse_args(const VerbDef& verb, int argc,
       case OptId::kAdaptBatch:
         if (!need_size(opt.adapt_batch)) return std::nullopt;
         break;
+      case OptId::kSimd: {
+        const char* v = need_value();
+        if (v == nullptr) return std::nullopt;
+        const auto backend = util::simd::parse_backend(v);
+        if (!backend) {
+          std::fprintf(stderr,
+                       "esam: unknown SIMD backend '%s' "
+                       "(scalar | avx2 | neon)\n",
+                       v);
+          return std::nullopt;
+        }
+        // Applied immediately: the backend is process-wide kernel dispatch,
+        // not per-run state.
+        if (!util::simd::set_active_backend(*backend)) {
+          std::fprintf(stderr,
+                       "esam: SIMD backend '%s' is not available on this "
+                       "host (see 'esam info')\n",
+                       v);
+          return std::nullopt;
+        }
+        break;
+      }
+      case OptId::kEngine: {
+        const char* v = need_value();
+        if (v == nullptr) return std::nullopt;
+        const std::string name = v;
+        if (name == "pipe") {
+          opt.engine = arch::ExecutionEngine::kPipelined;
+        } else if (name == "seq") {
+          opt.engine = arch::ExecutionEngine::kSequential;
+        } else {
+          std::fprintf(stderr, "esam: unknown engine '%s' (pipe | seq)\n", v);
+          return std::nullopt;
+        }
+        break;
+      }
     }
   }
   if (out.positionals.size() < verb.min_positionals ||
@@ -590,6 +638,18 @@ void print_checkpoint_info(const std::string& path,
 // Verb handlers. Existing verbs keep their exact behavior and flags.
 
 int cmd_info(const CliOptions&, const std::vector<std::string>&) {
+  namespace simd = util::simd;
+  std::string available;
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (!simd::available(b)) continue;
+    if (!available.empty()) available += ' ';
+    available += simd::backend_name(b);
+  }
+  std::printf(
+      "SIMD kernel backend: %s (available: %s; override with ESAM_SIMD or "
+      "--simd)\n\n",
+      simd::active_backend_name(), available.c_str());
   for (const tech::TechnologyParams* t :
        {&tech::imec3nm(), &tech::imec3nm_low_power()}) {
     util::Table table(std::string("technology: ") + t->name);
@@ -662,8 +722,11 @@ int cmd_report(const CliOptions& opt, const std::vector<std::string>&) {
                    "ignoring --threads/--batch\n");
     }
   }
+  // The traced run needs the lockstep reference engine (one well-defined
+  // cycle order); everything else goes through the batched engine, which
+  // honors --engine/--threads/--batch and is bit-identical to it.
   const arch::RunResult r =
-      (opt.batched() && tracer == nullptr)
+      tracer == nullptr
           ? sim.run_batched(inputs, &labels, opt.run_config())
           : sim.run(inputs, &labels, tracer.get());
 

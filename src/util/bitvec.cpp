@@ -1,6 +1,13 @@
+// The word-level kernels (count / and_count / bulk boolean ops) dispatch
+// through util::simd so the active backend (scalar / AVX2 / NEON) serves
+// every BitVec in the system; all backends are bit-identical to the
+// scalar reference (tests/test_simd.cpp).
 #include "esam/util/bitvec.hpp"
 
+#include <algorithm>
 #include <bit>
+
+#include "esam/util/simd.hpp"
 
 namespace esam::util {
 
@@ -27,9 +34,7 @@ void BitVec::fill() {
 }
 
 std::size_t BitVec::count() const {
-  std::size_t n = 0;
-  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
-  return n;
+  return simd::active().count(words_.data(), words_.size());
 }
 
 bool BitVec::any() const {
@@ -73,11 +78,8 @@ std::vector<std::size_t> BitVec::set_bits() const {
 
 std::size_t BitVec::and_count(const BitVec& o) const {
   check_same_size(o);
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<std::size_t>(std::popcount(words_[i] & o.words_[i]));
-  }
-  return n;
+  return simd::active().and_count(words_.data(), o.words_.data(),
+                                  words_.size());
 }
 
 BitVec BitVec::slice(std::size_t offset, std::size_t len) const {
@@ -100,15 +102,36 @@ BitVec BitVec::slice(std::size_t offset, std::size_t len) const {
   return out;
 }
 
+void BitVec::slice_into(std::size_t offset, BitVec& out) const {
+  const std::size_t len = out.size_;
+  if (offset > size_ || len > size_ - offset) {
+    throw std::out_of_range("BitVec::slice_into: [" + std::to_string(offset) +
+                            ", " + std::to_string(offset + len) +
+                            ") out of range for size " + std::to_string(size_));
+  }
+  const std::size_t word0 = offset >> 6;
+  const unsigned shift = offset & 63;
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    std::uint64_t w = words_[word0 + i] >> shift;
+    if (shift != 0 && word0 + i + 1 < words_.size()) {
+      w |= words_[word0 + i + 1] << (64 - shift);
+    }
+    out.words_[i] = w;
+  }
+  out.trim();
+}
+
 BitVec& BitVec::andnot_assign(const BitVec& o) {
   check_same_size(o);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  simd::active().andnot_assign(words_.data(), o.words_.data(), words_.size());
   return *this;
 }
 
 void BitVec::assign(const BitVec& o) {
   check_same_size(o);
-  words_.assign(o.words_.begin(), o.words_.end());
+  // A plain word copy: memcpy beats any dispatch for the short vectors on
+  // the row-read hot path.
+  std::copy(o.words_.begin(), o.words_.end(), words_.begin());
 }
 
 BitVec BitVec::operator&(const BitVec& o) const {
@@ -138,19 +161,19 @@ BitVec BitVec::operator~() const {
 
 BitVec& BitVec::operator&=(const BitVec& o) {
   check_same_size(o);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  simd::active().and_assign(words_.data(), o.words_.data(), words_.size());
   return *this;
 }
 
 BitVec& BitVec::operator|=(const BitVec& o) {
   check_same_size(o);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  simd::active().or_assign(words_.data(), o.words_.data(), words_.size());
   return *this;
 }
 
 BitVec& BitVec::operator^=(const BitVec& o) {
   check_same_size(o);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  simd::active().xor_assign(words_.data(), o.words_.data(), words_.size());
   return *this;
 }
 

@@ -1,0 +1,113 @@
+// Backend selection. The active table is chosen once on first use --
+// `ESAM_SIMD` env override first, then the best backend both compiled in
+// and supported by the running CPU -- and may be switched explicitly via
+// set_active_backend() (CLI --simd, differential tests). Readers load one
+// atomic pointer, so the batched engine's workers can dispatch while a
+// test or CLI switches backends without tearing.
+#include "esam/util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace esam::util::simd {
+namespace {
+
+bool cpu_supports(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+      // The NEON table only exists on AArch64 builds, where NEON is
+      // architecturally mandatory.
+      return detail::neon_table() != nullptr;
+  }
+  return false;
+}
+
+const Kernels* table_if_available(Backend b) {
+  const Kernels* table = nullptr;
+  switch (b) {
+    case Backend::kScalar:
+      table = &scalar_kernels();
+      break;
+    case Backend::kAvx2:
+      table = detail::avx2_table();
+      break;
+    case Backend::kNeon:
+      table = detail::neon_table();
+      break;
+  }
+  return (table != nullptr && cpu_supports(b)) ? table : nullptr;
+}
+
+const Kernels* detect() {
+  if (const char* env = std::getenv("ESAM_SIMD")) {
+    if (const auto requested = parse_backend(env)) {
+      if (const Kernels* t = table_if_available(*requested)) return t;
+    }
+    // Unknown or unavailable request: fall back to the portable reference
+    // rather than silently picking a different accelerated backend.
+    return &scalar_kernels();
+  }
+  if (const Kernels* t = table_if_available(Backend::kAvx2)) return t;
+  if (const Kernels* t = table_if_available(Backend::kNeon)) return t;
+  return &scalar_kernels();
+}
+
+std::atomic<const Kernels*>& active_slot() {
+  static std::atomic<const Kernels*> slot{detect()};
+  return slot;
+}
+
+}  // namespace
+
+const Kernels* kernels_for(Backend b) { return table_if_available(b); }
+
+bool available(Backend b) { return table_if_available(b) != nullptr; }
+
+const Kernels& active() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+Backend active_backend() {
+  const Kernels* t = active_slot().load(std::memory_order_relaxed);
+  if (t == detail::avx2_table()) return Backend::kAvx2;
+  if (t == detail::neon_table()) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+const char* active_backend_name() { return active().name; }
+
+bool set_active_backend(Backend b) {
+  const Kernels* t = table_if_available(b);
+  if (t == nullptr) return false;
+  active_slot().store(t, std::memory_order_relaxed);
+  return true;
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+    case Backend::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "neon") return Backend::kNeon;
+  return std::nullopt;
+}
+
+}  // namespace esam::util::simd

@@ -1,0 +1,146 @@
+// NEON backend (AArch64). Compiled only when CMake targets an ARM64
+// machine; NEON is architecturally guaranteed there, so no runtime CPU
+// check is needed beyond the build-time gate.
+#include "esam/util/simd.hpp"
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+#include <arm_neon.h>
+
+#include <bit>
+
+namespace esam::util::simd {
+namespace {
+
+std::size_t neon_count(const std::uint64_t* w, std::size_t n) {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint8x16_t v = vreinterpretq_u8_u64(vld1q_u64(w + i));
+    total += vaddvq_u8(vcntq_u8(v));  // <= 128 set bits per vector
+  }
+  for (; i < n; ++i) total += static_cast<std::size_t>(std::popcount(w[i]));
+  return total;
+}
+
+std::size_t neon_and_count(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n) {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    total += vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(v)));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+template <typename Op128, typename Op64>
+void bulk_op(std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+             Op128 op128, Op64 op64) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(a + i, op128(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) a[i] = op64(a[i], b[i]);
+}
+
+void neon_and_assign(std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  bulk_op(
+      a, b, n, [](uint64x2_t x, uint64x2_t y) { return vandq_u64(x, y); },
+      [](std::uint64_t x, std::uint64_t y) { return x & y; });
+}
+
+void neon_or_assign(std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  bulk_op(
+      a, b, n, [](uint64x2_t x, uint64x2_t y) { return vorrq_u64(x, y); },
+      [](std::uint64_t x, std::uint64_t y) { return x | y; });
+}
+
+void neon_xor_assign(std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  bulk_op(
+      a, b, n, [](uint64x2_t x, uint64x2_t y) { return veorq_u64(x, y); },
+      [](std::uint64_t x, std::uint64_t y) { return x ^ y; });
+}
+
+void neon_andnot_assign(std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n) {
+  // vbicq_u64(x, y) computes x & ~y.
+  bulk_op(
+      a, b, n, [](uint64x2_t x, uint64x2_t y) { return vbicq_u64(x, y); },
+      [](std::uint64_t x, std::uint64_t y) { return x & ~y; });
+}
+
+/// Mask expansion one byte at a time: vtstq yields all-ones lanes where the
+/// broadcast byte has the lane's bit, and subtracting -1 increments the
+/// counter -- 8 counters per byte in two quad ops.
+void neon_accumulate_ones(const std::uint64_t* w, std::size_t n,
+                          std::int32_t* ones) {
+  static const std::uint32_t kLoBits[4] = {1, 2, 4, 8};
+  static const std::uint32_t kHiBits[4] = {16, 32, 64, 128};
+  const uint32x4_t mlo = vld1q_u32(kLoBits);
+  const uint32x4_t mhi = vld1q_u32(kHiBits);
+  for (std::size_t wi = 0; wi < n; ++wi) {
+    const std::uint64_t word = w[wi];
+    if (word == 0) continue;
+    std::int32_t* base = ones + wi * 64;
+    for (int k = 0; k < 8; ++k) {
+      const auto byte = static_cast<std::uint32_t>((word >> (8 * k)) & 0xffu);
+      if (byte == 0) continue;
+      const uint32x4_t vb = vdupq_n_u32(byte);
+      std::int32_t* p = base + 8 * k;
+      const int32x4_t add_lo = vreinterpretq_s32_u32(vtstq_u32(vb, mlo));
+      const int32x4_t add_hi = vreinterpretq_s32_u32(vtstq_u32(vb, mhi));
+      vst1q_s32(p, vsubq_s32(vld1q_s32(p), add_lo));
+      vst1q_s32(p + 4, vsubq_s32(vld1q_s32(p + 4), add_hi));
+    }
+  }
+}
+
+void neon_integrate_saturating(std::int32_t* vmem, const std::int32_t* ones,
+                               std::int32_t grants, std::int32_t lo,
+                               std::int32_t hi, std::size_t n) {
+  const int32x4_t vlo = vdupq_n_s32(lo);
+  const int32x4_t vhi = vdupq_n_s32(hi);
+  const int32x4_t vg = vdupq_n_s32(grants);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int32x4_t o = vld1q_s32(ones + i);
+    int32x4_t v = vld1q_s32(vmem + i);
+    v = vaddq_s32(v, vsubq_s32(vaddq_s32(o, o), vg));
+    v = vminq_s32(vmaxq_s32(v, vlo), vhi);
+    vst1q_s32(vmem + i, v);
+  }
+  for (; i < n; ++i) {
+    std::int32_t v = vmem[i] + 2 * ones[i] - grants;
+    v = v < lo ? lo : v;
+    v = v > hi ? hi : v;
+    vmem[i] = v;
+  }
+}
+
+constexpr Kernels kNeonTable{
+    "neon",           neon_count,
+    neon_and_count,   neon_and_assign,
+    neon_or_assign,   neon_xor_assign,
+    neon_andnot_assign, neon_accumulate_ones,
+    neon_integrate_saturating,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernels* neon_table() { return &kNeonTable; }
+}  // namespace detail
+
+}  // namespace esam::util::simd
+
+#else  // no NEON
+
+namespace esam::util::simd::detail {
+const Kernels* neon_table() { return nullptr; }
+}  // namespace esam::util::simd::detail
+
+#endif

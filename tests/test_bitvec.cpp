@@ -212,5 +212,45 @@ TEST(BitVecProperty, SliceMatchesNaivePerBitCopy) {
   }
 }
 
+TEST(BitVecProperty, SliceIntoMatchesSlice) {
+  Rng rng(78);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t size = 1 + rng.uniform_index(300);
+    BitVec v(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng.bernoulli(0.4)) v.set(i);
+    }
+    const std::size_t offset = rng.uniform_index(size + 1);
+    const std::size_t len = rng.uniform_index(size - offset + 1);
+    BitVec out(len);
+    out.fill();  // pre-dirtied storage: slice_into must fully overwrite
+    v.slice_into(offset, out);
+    EXPECT_EQ(out, v.slice(offset, len))
+        << "size " << size << " offset " << offset << " len " << len;
+  }
+}
+
+TEST(BitVec, SliceIntoThrowsOutOfRange) {
+  BitVec v(64);
+  BitVec out(5);
+  EXPECT_THROW(v.slice_into(60, out), std::out_of_range);
+  BitVec wide(65);
+  EXPECT_THROW(v.slice_into(0, wide), std::out_of_range);
+}
+
+TEST(BitVec, UncheckedAccessorsMatchChecked) {
+  BitVec v(130);
+  v.set(0);
+  v.set(64);
+  v.set(129);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v.test_unchecked(i), v.test(i)) << "bit " << i;
+  }
+  ASSERT_EQ(v.word_count(), 3u);
+  for (std::size_t wi = 0; wi < v.word_count(); ++wi) {
+    EXPECT_EQ(v.word(wi), v.words()[wi]) << "word " << wi;
+  }
+}
+
 }  // namespace
 }  // namespace esam::util

@@ -1,0 +1,151 @@
+// The two batch execution engines -- the cycle-by-cycle lockstep sweep and
+// the software-pipelined stage-major engine -- model the same hardware
+// schedule. These tests pin their results as bit-for-bit identical:
+// predictions, cycle counts and per-category ledger energies, across
+// network shapes (multi-array tiles included), batch shapes and SIMD
+// backends.
+#include <gtest/gtest.h>
+
+#include "esam/arch/system.hpp"
+#include "esam/tech/technology.hpp"
+#include "esam/util/rng.hpp"
+#include "esam/util/simd.hpp"
+
+namespace esam::arch {
+namespace {
+
+nn::SnnNetwork random_snn(const std::vector<std::size_t>& shape,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::BnnNetwork bnn(shape, rng);
+  for (auto& l : bnn.layers()) {
+    for (auto& b : l.bias) b = static_cast<float>(rng.uniform(-5.0, 5.0));
+  }
+  return nn::SnnNetwork::from_bnn(bnn);
+}
+
+std::vector<util::BitVec> random_inputs(std::size_t n, std::size_t width,
+                                        std::uint64_t seed,
+                                        double density = 0.25) {
+  util::Rng rng(seed);
+  std::vector<util::BitVec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::BitVec v(width);
+    for (std::size_t k = 0; k < width; ++k) {
+      if (rng.bernoulli(density)) v.set(k);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(util::in_seconds(a.elapsed), util::in_seconds(b.elapsed));
+  for (int c = 0; c < static_cast<int>(util::EnergyCategory::kCount); ++c) {
+    const auto cat = static_cast<util::EnergyCategory>(c);
+    EXPECT_EQ(a.ledger.energy(cat).base(), b.ledger.energy(cat).base())
+        << "category " << util::to_string(cat);
+  }
+  EXPECT_EQ(a.ledger.total_energy().base(), b.ledger.total_energy().base());
+  EXPECT_EQ(a.accuracy, b.accuracy);
+}
+
+RunResult run_with_engine(SystemSimulator& sim,
+                          const std::vector<util::BitVec>& inputs,
+                          const std::vector<std::uint8_t>& labels,
+                          ExecutionEngine engine, std::size_t batch_size = 0) {
+  RunConfig cfg;
+  cfg.engine = engine;
+  cfg.batch_size = batch_size;
+  return sim.run_batched(inputs, &labels, cfg);
+}
+
+TEST(EngineEquivalence, PipelinedMatchesSequentialExactly) {
+  // Shapes covering single-tile, deep cascades and multi-array tiles (the
+  // 150-wide layers split into 2x2 SRAM arrays per tile).
+  const std::vector<std::vector<std::size_t>> shapes = {
+      {64, 10},
+      {96, 64, 32, 7},
+      {150, 150, 12},
+  };
+  std::uint64_t seed = 301;
+  for (const auto& shape : shapes) {
+    const nn::SnnNetwork snn = random_snn(shape, seed++);
+    SystemSimulator sim(tech::imec3nm(), snn, {});
+    const auto inputs = random_inputs(60, shape.front(), seed++);
+    std::vector<std::uint8_t> labels(inputs.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = static_cast<std::uint8_t>(i % shape.back());
+    }
+    const RunResult seq =
+        run_with_engine(sim, inputs, labels, ExecutionEngine::kSequential);
+    const RunResult pipe =
+        run_with_engine(sim, inputs, labels, ExecutionEngine::kPipelined);
+    expect_identical(seq, pipe);
+  }
+}
+
+TEST(EngineEquivalence, PipelinedMatchesLockstepReferenceRun) {
+  // run() is the lockstep reference path; the default-config batched engine
+  // (one batch, pipelined) must reproduce it exactly.
+  const nn::SnnNetwork snn = random_snn({96, 48, 9}, 310);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(50, 96, 311);
+  std::vector<std::uint8_t> labels(inputs.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::uint8_t>(i % 9);
+  }
+  const RunResult reference = sim.run(inputs, &labels);
+  const RunResult pipelined = sim.run_batched(inputs, &labels, {});
+  expect_identical(reference, pipelined);
+}
+
+TEST(EngineEquivalence, EnginesAgreePerBatchShape) {
+  const nn::SnnNetwork snn = random_snn({80, 40, 8}, 320);
+  SystemSimulator sim(tech::imec3nm(), snn, {});
+  const auto inputs = random_inputs(70, 80, 321);
+  std::vector<std::uint8_t> labels(inputs.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::uint8_t>(i % 8);
+  }
+  for (std::size_t batch : {std::size_t{0}, std::size_t{1}, std::size_t{16},
+                            std::size_t{70}, std::size_t{1000}}) {
+    const RunResult seq = run_with_engine(sim, inputs, labels,
+                                          ExecutionEngine::kSequential, batch);
+    const RunResult pipe = run_with_engine(sim, inputs, labels,
+                                           ExecutionEngine::kPipelined, batch);
+    expect_identical(seq, pipe);
+  }
+}
+
+TEST(EngineEquivalence, ResultsIdenticalAcrossSimdBackends) {
+  // The modelled outcome must not depend on the kernel backend. Runs the
+  // pipelined engine under every available backend and compares against
+  // the scalar result.
+  const nn::SnnNetwork snn = random_snn({130, 66, 9}, 330);
+  const auto inputs = random_inputs(40, 130, 331);
+  std::vector<std::uint8_t> labels(inputs.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::uint8_t>(i % 9);
+  }
+
+  namespace simd = util::simd;
+  const simd::Backend saved = simd::active_backend();
+  ASSERT_TRUE(simd::set_active_backend(simd::Backend::kScalar));
+  SystemSimulator scalar_sim(tech::imec3nm(), snn, {});
+  const RunResult scalar = scalar_sim.run_batched(inputs, &labels, {});
+  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (!simd::available(b)) continue;
+    ASSERT_TRUE(simd::set_active_backend(b));
+    SystemSimulator sim(tech::imec3nm(), snn, {});
+    const RunResult r = sim.run_batched(inputs, &labels, {});
+    expect_identical(scalar, r);
+  }
+  simd::set_active_backend(saved);
+}
+
+}  // namespace
+}  // namespace esam::arch
