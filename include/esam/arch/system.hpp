@@ -99,6 +99,16 @@ struct RunResult {
 struct OnlineTrainConfig {
   /// Train/eval rounds over the sample stream.
   std::size_t epochs = 1;
+  /// k-step delayed updates: the training stream is cut into windows of
+  /// `update_interval` samples; every sample's forward pass runs against
+  /// the weights frozen at the window start, the rules stage their
+  /// observations in sample order, and one commit per window applies the
+  /// staged column updates (repeated events on a column coalesce into a
+  /// single read-modify-write -- the throughput win, see
+  /// OnlineLearner::apply_column). 1 (the default) commits after every
+  /// sample and is bit-identical to the serial immediate-update reference;
+  /// any k is deterministic across thread counts and engines.
+  std::size_t update_interval = 1;
   /// Pipeline-wide learning configuration: base STDP seed (per-tile rule
   /// seeds are derived), teacher behaviour, hidden-rule selection.
   learning::TrainerConfig trainer{};
@@ -106,6 +116,13 @@ struct OnlineTrainConfig {
   /// num_threads is a simulation-software knob only: eval results are
   /// bit-identical for every thread count.
   RunConfig eval{};
+  /// Execution config of the training windows: num_threads workers shard
+  /// each window's forward passes over per-worker tile clones (resynced
+  /// column-wise after every commit). Pure simulation-software knob --
+  /// modelled results depend only on update_interval; the engine field is
+  /// accepted for symmetry but training always uses the per-sample burst
+  /// walk (both engines are bit-identical per sample anyway).
+  RunConfig train{};
 };
 
 /// Per-epoch outcome of an online-training run.
@@ -115,13 +132,29 @@ struct OnlineEpochStats {
   double online_accuracy = 0.0;
   /// Post-epoch accuracy of the batched eval phase.
   double eval_accuracy = 0.0;
-  /// Column updates applied during this epoch (all plastic tiles).
+  /// Staged column updates / physical RMWs applied during this epoch (all
+  /// plastic tiles; see LearningStats for the two counters).
   learning::LearningStats learning;
-  /// Serial training-phase forward passes of this epoch: tile-step cycles
-  /// and their total metered energy (SRAM/arbiter/neuron/fabric dynamic
-  /// energy plus the clock and leakage integrated over those cycles).
+  /// Training-phase forward passes of this epoch: pipeline cycles of the
+  /// windowed schedule (each k-sample window overlaps tiles like the
+  /// inference engine; at update_interval 1 this degenerates to the serial
+  /// sum of per-tile busy cycles) and their total metered energy
+  /// (SRAM/arbiter/neuron/fabric dynamic energy plus the clock and leakage
+  /// integrated over those cycles).
   std::uint64_t train_cycles = 0;
   Energy train_energy{};
+  /// Modelled training-phase wall time of this epoch: per window, the
+  /// pipelined forward cycles times the clock period plus the commit
+  /// drain. The drain models the macro RW ports: at update_interval 1
+  /// every read-modify-write sits on the inter-sample critical path (the
+  /// next forward consumes it), so the per-column RMW times sum serially
+  /// -- train_time == train_cycles * period + learning.time, the
+  /// established serial reference. At k > 1 the commit is a dedicated
+  /// phase and each (tile, column-group) macro column drains its RMW
+  /// queue through its own RW port concurrently, so the drain is the
+  /// longest per-(tile, column-group) queue. This is the throughput
+  /// metric bench_online_learning gates (ns per staged update).
+  Time train_time{};
 };
 
 /// Outcome of run_online: the accuracy-over-time curve plus the final eval
@@ -135,9 +168,13 @@ struct OnlineRunResult {
   /// Per-tile cumulative column-update stats: hidden rules make hidden
   /// tiles show up as nonzero rows here, not just the output tile.
   std::vector<learning::LearningStats> tile_learning;
-  /// Metered training-phase forward-pass ledger (serial passes through the
-  /// canonical tiles; already folded into final_eval.ledger).
+  /// Metered training-phase forward-pass ledger (windowed passes merged in
+  /// sample order; already folded into final_eval.ledger).
   EnergyLedger train_ledger;
+  /// Total modelled training wall time over all epochs (see
+  /// OnlineEpochStats::train_time for the per-window forward + commit
+  /// drain model).
+  Time train_time{};
   /// Last eval phase; its ledger carries the cumulative learning energy
   /// under EnergyCategory::kLearning plus the training-phase forward cost,
   /// and its elapsed time includes the training and learning wall-clock
@@ -193,15 +230,21 @@ class SystemSimulator {
                         const std::vector<std::uint8_t>* labels = nullptr,
                         const RunConfig& run_cfg = {});
 
-  /// Online-training engine: per epoch, streams every sample serially
-  /// through the canonical tiles and drives the per-tile learning rules
-  /// (the updates mutate the SRAM weights in place), then evaluates the
-  /// adapted weights with the deterministic batched engine. The training
-  /// forward passes are metered (tile energies into a training ledger,
-  /// clock + leakage integrated over the serial cycles). Learning is
-  /// serial by construction -- column updates are read-modify-writes into
-  /// shared state -- so the whole run, curve included, is bit-identical
-  /// across eval thread counts (tests/test_online_trainer.cpp pins this).
+  /// Online-training engine: per epoch, cuts the sample stream into
+  /// k-sample windows (OnlineTrainConfig::update_interval), runs each
+  /// window's forward passes against the window-start weights -- sharded
+  /// over OnlineTrainConfig::train worker threads with per-worker tile
+  /// clones -- lets the per-tile learning rules stage their observations in
+  /// sample order, and commits the staged column updates once per window
+  /// (deterministic tile/column order; repeated events on one column
+  /// coalesce into a single read-modify-write). Then evaluates the adapted
+  /// weights with the deterministic batched engine. The training forward
+  /// passes are metered (tile energies into a training ledger, clock +
+  /// leakage integrated over the windowed pipeline cycles); the commit cost
+  /// is accounted once, under EnergyCategory::kLearning. update_interval 1
+  /// is bit-identical to the serial immediate-update reference, and every
+  /// k is bit-identical across thread counts and engines
+  /// (tests/test_online_trainer.cpp, tests/test_delayed_updates.cpp).
   /// This overload trains and evaluates on the same stream (the rolling
   /// field scenario).
   OnlineRunResult run_online(const std::vector<BitVec>& inputs,

@@ -169,6 +169,13 @@ class Tile {
     return readout_offsets_.at(neuron);
   }
 
+  /// Cost-free clone resync: copies neuron `j`'s weight column (observable
+  /// bits, per row-group) and readout offset from `src`, which must share
+  /// this tile's shape. The batched training engine uses it to propagate a
+  /// committed column update into per-worker tile clones without paying
+  /// modelled port traffic.
+  void copy_column_from(const Tile& src, std::size_t j);
+
  private:
   void fire_phase();
   [[nodiscard]] std::size_t array_rows(std::size_t row_group) const;

@@ -102,7 +102,13 @@ struct OnlineOptions {
   /// rest), so the reported curve measures generalization. 0 = train and
   /// evaluate on the same stream (the rolling field scenario).
   double holdout_fraction = 0.0;
-  arch::RunConfig run{};  ///< execution config of the eval phases
+  /// k-step delayed updates: commit staged column updates every k training
+  /// samples (1 = the serial immediate-update reference; see
+  /// arch::OnlineTrainConfig::update_interval).
+  std::size_t update_interval = 1;
+  /// Execution config of the eval phases (also reused for the training
+  /// windows' worker count).
+  arch::RunConfig run{};
 };
 
 /// Results of the system-level online-learning scenario (sec. 4.4.1 at
@@ -122,7 +128,12 @@ struct OnlineReport {
   double accuracy_drifted = 0.0;  ///< same weights right after the drift
   std::vector<double> epoch_eval_accuracy;
   std::vector<double> epoch_online_accuracy;
+  /// Commit window size the run used (1 = immediate updates).
+  std::size_t update_interval = 1;
   std::uint64_t column_updates = 0;
+  /// Physical column read-modify-writes (== column_updates at
+  /// update_interval 1; smaller when windows coalesce repeated events).
+  std::uint64_t column_rmws = 0;
   /// Per-tile column updates (hidden plasticity shows up as its own rows).
   std::vector<std::uint64_t> tile_column_updates;
   double learning_time_us = 0.0;
@@ -178,9 +189,16 @@ class EsamSystem {
   void deploy(const io::Checkpoint& ckpt);
 
   /// Snapshots the live SRAM weights (after any in-field adaptation) into a
-  /// checkpoint ready for save().
+  /// checkpoint ready for save(). Lineage: meta.parent_crc is stamped with
+  /// the content_crc() of the checkpoint this system deployed last (0 when
+  /// it was built from a live TrainedModel), so provenance chains survive
+  /// the train -> persist -> redeploy loop and `esam checkpoint diff` can
+  /// verify them.
   [[nodiscard]] io::Checkpoint make_checkpoint(
       io::CheckpointMeta meta = {}) const;
+
+  /// content_crc() of the deployed parent checkpoint (0 = model-built root).
+  [[nodiscard]] std::uint32_t parent_crc() const { return parent_crc_; }
 
   /// The deployed baseline: the weights loaded at construction or by the
   /// last deploy() (not the live, possibly adapted, SRAM contents -- use
@@ -216,6 +234,8 @@ class EsamSystem {
   /// Deployed baseline weights (owned copy: checkpoint-constructed systems
   /// have no TrainedModel to point into).
   nn::SnnNetwork deployed_;
+  /// Lineage of the deployed baseline (see parent_crc()).
+  std::uint32_t parent_crc_ = 0;
   /// Evaluation stream; null until attach_test_data on checkpoint systems.
   const data::PreparedDataset* test_ = nullptr;
   arch::SystemSimulator sim_;

@@ -16,19 +16,29 @@
 //
 //   offset  size  field
 //   0       8     magic "ESAMCKPT"
-//   8       4     format version (currently 1)
+//   8       4     format version (currently 2)
 //   12      4     layer count
 //   16      8     payload size in bytes
 //   24      4     CRC-32 of the payload (polynomial 0xEDB88320)
 //   28      4     reserved (zero)
 //   32      ...   payload:
 //                   meta: source string, note string (u32 length + bytes),
-//                         creation time (unix seconds, u64)
+//                         creation time (unix seconds, u64),
+//                         parent checkpoint content CRC-32 (u32, version 2+;
+//                         0 = no recorded parent) -- the lineage link: the
+//                         content_crc() of the checkpoint the producing
+//                         system had deployed, so `esam checkpoint diff`
+//                         can verify provenance chains. Covered by the
+//                         payload CRC, so a corrupted lineage field is
+//                         rejected like any other payload damage.
 //                   per layer: in u64, out u64,
 //                              thresholds  i32[out],
 //                              readout offsets f32[out],
 //                              weight rows: in x ceil(out/64) u64 words
 //                              (BitVec word layout, row-major)
+//
+// Version 1 files (no parent CRC in the meta block) still load; their
+// parent_crc reads back as 0.
 //
 // The encoding is bit-exact: integers and IEEE-754 float bit patterns are
 // written verbatim, so a save/load round trip reproduces the adapted
@@ -58,12 +68,15 @@ struct CheckpointMeta {
   std::string source;  ///< e.g. dataset source or producing subsystem
   std::string note;    ///< free-form annotation (CLI --note)
   std::uint64_t created_unix = 0;  ///< creation time, seconds since epoch
+  /// Lineage: content_crc() of the checkpoint deployed on the system that
+  /// produced this one (0 = no recorded parent, e.g. a model-trained root).
+  std::uint32_t parent_crc = 0;
 };
 
 /// A deployable snapshot of network weights: the unit that `esam checkpoint`
 /// saves/loads and that serve::InferenceServer publishes atomically.
 struct Checkpoint {
-  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   CheckpointMeta meta;
   nn::SnnNetwork network;
@@ -88,6 +101,16 @@ struct Checkpoint {
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static Checkpoint decode(
       const std::vector<std::uint8_t>& bytes);
+
+  /// Content identity of this checkpoint: the CRC-32 of its encoded payload
+  /// (metadata + weights). This is the value a child checkpoint records as
+  /// meta.parent_crc, so lineage checks compare B.meta.parent_crc against
+  /// A.content_crc().
+  [[nodiscard]] std::uint32_t content_crc() const;
+
+ private:
+  /// The payload block of encode() (everything the CRC covers).
+  [[nodiscard]] std::vector<std::uint8_t> encode_payload() const;
 };
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte range.

@@ -8,16 +8,24 @@
 // (on_label) -- each update one column read-modify-write through the
 // transposed RW port of that tile's macros.
 //
+// k-step delayed updates: the rules stage their observations (see
+// LearningRule::commit), so the trainer splits a training step into
+// stage_sample() and commit_pending(). train_sample() = stage + commit, the
+// immediate-update reference; the batched system engine stages k samples
+// (observations resolved on per-worker tile clones, replayed in sample
+// order) and commits once per window.
+//
 // Determinism contract: the trainer owns one LearningRule per plastic tile,
 // seeded with derive_learner_seed(base_seed, tile_index) so the per-tile
 // Bernoulli streams are decorrelated (a shared default seed would make every
 // tile draw the *same* update pattern) yet fully reproducible: the same base
-// seed, tiles, rule selection and sample order always produce bit-identical
-// weights.
+// seed, tiles, rule selection and staged sample order always produce
+// bit-identical weights.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "esam/arch/tile.hpp"
@@ -69,12 +77,43 @@ class OnlineTrainer {
 
   /// One supervised step: classifies `input`, lets every hidden rule
   /// observe its tile's pre/post spikes, then drives the output teacher
-  /// with (winner, label). Returns the pre-update winner, so callers can
-  /// fold it into an online-accuracy estimate.
+  /// with (winner, label) and commits the staged updates immediately
+  /// (stage_sample + commit_pending). Returns the pre-update winner, so
+  /// callers can fold it into an online-accuracy estimate.
   std::size_t train_sample(const util::BitVec& input, std::size_t label);
+
+  /// train_sample without the commit: forwards `input` through the canonical
+  /// tiles and stages every rule's observation, leaving the SRAM untouched.
+  /// Pair with commit_pending() every k samples for delayed updates.
+  std::size_t stage_sample(const util::BitVec& input, std::size_t label);
+
+  /// Observation replay for the batched engine: stages reward updates for
+  /// hidden tile `t` (winners resolved elsewhere, e.g. via
+  /// rule(t)->resolve_forward on a worker clone). No-op for frozen tiles.
+  void stage_hidden(std::size_t t, const util::BitVec& pre_spikes,
+                    std::span<const std::size_t> winners);
+
+  /// Stages the output teacher's (winner, label) decision for a sample
+  /// whose forward ran elsewhere.
+  void stage_label(const util::BitVec& pre_spikes, std::size_t winner,
+                   std::size_t label);
+
+  /// Commits every rule's staged updates to the canonical tiles, in
+  /// ascending tile order (deterministic: per-tile Bernoulli streams are a
+  /// pure function of each tile's staged sequence). When `updated` is
+  /// non-null it is resized to tile_count() and filled with the distinct
+  /// columns each tile wrote (commit order) -- the clone-resync lists.
+  void commit_pending(std::vector<std::vector<std::size_t>>* updated = nullptr);
+
+  /// Total staged events awaiting commit_pending(), over all rules.
+  [[nodiscard]] std::size_t pending_count() const;
 
   [[nodiscard]] const TrainerConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t tile_count() const { return rules_.size(); }
+  /// True when tile `t` has a rule staging updates into it.
+  [[nodiscard]] bool tile_plastic(std::size_t t) const {
+    return rules_.at(t) != nullptr;
+  }
   /// Rule driving tile `t`; nullptr when the tile is not plastic (hidden
   /// tile with HiddenRule::kNone).
   [[nodiscard]] const LearningRule* rule(std::size_t t) const {
@@ -88,9 +127,9 @@ class OnlineTrainer {
   void reset_stats();
 
   /// Training-phase metering: when set, the ledger is attached to every
-  /// tile for the duration of each train_sample forward pass (and detached
-  /// around the column updates, whose cost is accounted once -- by the
-  /// rules' LearningStats -- not double-posted through the macro ledger).
+  /// tile for the duration of each forward pass (and detached around the
+  /// column updates, whose cost is accounted once -- by the rules'
+  /// LearningStats -- not double-posted through the macro ledger).
   void set_train_ledger(util::EnergyLedger* ledger);
 
   /// Tile-step cycles spent in training forward passes (serial: one tile

@@ -16,6 +16,16 @@
 //    update is the same column read-modify-write the teacher pays -- the
 //    in-macro learning cost story extends to every cascaded tile.
 //
+// Accumulate/commit protocol (k-step delayed updates): the on_forward /
+// on_label hooks no longer touch the SRAM -- they *stage* their column
+// updates into a per-rule pending buffer, and commit() applies the staged
+// events through the learner in deterministic order (first-staged column
+// first, each column's events folded into one read-modify-write in staged
+// order). Committing after every observed sample reproduces the immediate-
+// update behaviour bit for bit; committing every k samples is the delayed-
+// update training mode, where repeated events on one column coalesce into a
+// single RMW (see OnlineLearner::apply_column).
+//
 // Rules own one seeded OnlineLearner each; OnlineTrainer derives the
 // per-tile seeds so multi-tile update streams stay decorrelated yet
 // reproducible (see derive_learner_seed).
@@ -23,6 +33,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -45,8 +56,9 @@ enum class HiddenRule : std::uint8_t {
 
 /// Interface of one per-tile plasticity rule. The tile must outlive the
 /// rule. Hooks observe the tile's fixed-storage per-inference state
-/// (last_input / last_output / fire_vmem), so driving a rule allocates
-/// nothing per sample.
+/// (last_input / last_output / fire_vmem) and stage into slot-reused
+/// pending storage, so driving a rule allocates nothing per sample once the
+/// pending buffer has grown to the window size.
 class LearningRule {
  public:
   LearningRule(arch::Tile& tile, StdpConfig stdp);
@@ -57,14 +69,42 @@ class LearningRule {
   [[nodiscard]] virtual std::string_view name() const = 0;
 
   /// Called after the owning tile finishes one training forward pass, with
-  /// its pre-synaptic input spikes and fired output spikes.
+  /// its pre-synaptic input spikes and fired output spikes. Stages updates;
+  /// nothing reaches the SRAM until commit().
   virtual void on_forward(const util::BitVec& pre_spikes,
                           const util::BitVec& post_spikes);
 
   /// Called once per supervised sample on the output tile's rule, with the
   /// spikes that reached the tile, the WTA winner and the teacher label.
+  /// Stages updates; nothing reaches the SRAM until commit().
   virtual void on_label(const util::BitVec& pre_spikes, std::size_t winner,
                         std::size_t label);
+
+  /// Winner resolution of on_forward, decoupled from staging: fills `out`
+  /// with the columns the rule would reward for `observed`'s most recent
+  /// forward pass. Const and touching only `observed` + `out`, so the
+  /// batched training engine can resolve observations on per-worker tile
+  /// clones concurrently and replay them into the rule on retirement via
+  /// stage_rewards(). The base rule observes nothing (clears `out`).
+  virtual void resolve_forward(const arch::Tile& observed,
+                               std::vector<std::size_t>& out) const;
+
+  /// Stages one causal (reward) update per column, in the given order --
+  /// the replay path for observations resolved on a tile clone.
+  void stage_rewards(const util::BitVec& pre_spikes,
+                     std::span<const std::size_t> columns);
+
+  /// Applies every staged update to the SRAM: distinct columns in
+  /// first-staged order, each column's events coalesced into one
+  /// read-modify-write (events folded in staged order, so the per-rule
+  /// Bernoulli stream is a pure function of the staged sequence). When
+  /// `updated_columns` is non-null it is filled with the distinct columns
+  /// written (commit order) -- the clone-resync list for the batched
+  /// training engine.
+  void commit(std::vector<std::size_t>* updated_columns = nullptr);
+
+  /// Staged events awaiting commit().
+  [[nodiscard]] std::size_t pending_count() const { return pending_count_; }
 
   [[nodiscard]] const arch::Tile& tile() const { return *tile_; }
   /// The seeded STDP configuration this rule draws from.
@@ -73,8 +113,17 @@ class LearningRule {
   void reset_stats() { learner_.reset_stats(); }
 
  protected:
+  /// Appends one staged update (slot-reused storage: BitVec capacity is
+  /// retained across commit cycles, so steady-state staging is heap-free).
+  void stage(std::size_t column, const util::BitVec& pre_spikes, bool causal);
+
   arch::Tile* tile_;
   OnlineLearner learner_;
+
+ private:
+  std::vector<PendingUpdate> pending_;
+  std::size_t pending_count_ = 0;  ///< live prefix of pending_
+  std::vector<const PendingUpdate*> batch_scratch_;  ///< commit grouping
 };
 
 /// Supervised output-layer teacher configuration (see TrainerConfig for the
@@ -103,6 +152,8 @@ class WtaStdpRule final : public LearningRule {
   [[nodiscard]] std::string_view name() const override { return "wta-stdp"; }
   void on_forward(const util::BitVec& pre_spikes,
                   const util::BitVec& post_spikes) override;
+  void resolve_forward(const arch::Tile& observed,
+                       std::vector<std::size_t>& out) const override;
 
   [[nodiscard]] std::size_t k() const { return k_; }
 

@@ -23,8 +23,11 @@
 // are also fed to a background adaptation thread that owns a *mutable*
 // learning copy of the model (immutable serving weights vs mutable learning
 // copy). After every ServerConfig::adapt_batch labeled samples it trains
-// via learning::OnlineTrainer and atomically publishes the adapted weights
-// as a new checkpoint (shared_ptr swap + version bump); workers refresh
+// via learning::OnlineTrainer (committing staged column updates every
+// ServerConfig::update_interval samples) and atomically publishes the
+// adapted weights as a new checkpoint, each stamped with the previously
+// published checkpoint's content CRC as its lineage parent (shared_ptr
+// swap + version bump); workers refresh
 // their pipelines at the next batch boundary, so a batch never mixes two
 // weight versions. stop() drains the queue -- every accepted request is
 // answered -- and flushes any remaining labeled samples through one final
@@ -64,6 +67,13 @@ struct ServerConfig {
   /// Labeled samples per adaptation round; each round ends in an atomic
   /// checkpoint publish.
   std::size_t adapt_batch = 32;
+  /// k-step delayed updates for the adaptation engine: staged column
+  /// updates commit every k samples (see
+  /// arch::OnlineTrainConfig::update_interval). Any partial window is
+  /// flushed at the end of each adaptation round, so a published
+  /// checkpoint never carries uncommitted staged updates. 1 = the serial
+  /// immediate-update reference (bit-identical weights).
+  std::size_t update_interval = 1;
   /// Learning configuration of the adaptation engine's mutable model copy.
   learning::TrainerConfig trainer{};
   /// Receives one-line operational log messages (the startup banner with
@@ -97,6 +107,10 @@ struct ClientStats {
   double modeled_energy_pj = 0.0;   ///< summed energy shares
   double modeled_latency_ns = 0.0;  ///< summed modelled batch latencies
   double queue_wait_us = 0.0;       ///< summed host queueing delays
+  /// Queue-wait percentiles over this client's served requests, estimated
+  /// from a bounded deterministic sample (see InferenceServer::stats()).
+  double queue_wait_p50_us = 0.0;
+  double queue_wait_p99_us = 0.0;
 };
 
 struct ServerStats {
@@ -172,6 +186,17 @@ class InferenceServer {
     io::Checkpoint ckpt;
     std::uint64_t version = 0;
   };
+  /// Bounded queue-wait sample for percentile estimation: every stride-th
+  /// observed wait is retained; when the buffer fills, every other retained
+  /// sample is dropped and the stride doubles. Deterministic (no RNG) per
+  /// the repo's reproducibility lint, O(1) amortized, memory-bounded.
+  struct WaitRecorder {
+    std::vector<double> samples;
+    std::uint64_t stride = 1;
+    std::uint64_t seen = 0;
+
+    void record(double wait_us);
+  };
 
   /// Routes an operational log line to cfg_.log_sink (stderr by default).
   void log_line(const std::string& line) const;
@@ -207,6 +232,9 @@ class InferenceServer {
 
   mutable util::Mutex stats_mutex_;
   ServerStats stats_ ESAM_GUARDED_BY(stats_mutex_);
+  /// Per-client queue-wait samples backing the p50/p99 in ClientStats.
+  std::map<std::uint64_t, WaitRecorder> queue_waits_
+      ESAM_GUARDED_BY(stats_mutex_);
 
   util::Mutex adapt_mutex_;
   util::CondVar adapt_cv_;

@@ -73,6 +73,9 @@ class SramMacro {
   /// actually changed on a faulty array).
   [[nodiscard]] BitVec peek_column(std::size_t col) const;
   void poke(std::size_t row, std::size_t col, bool value);
+  /// Cost-free raw store of one full column (no fault masking -- pair with
+  /// peek_column to mirror another macro's *observable* column).
+  void poke_column(std::size_t col, const BitVec& bits);
   /// Loads a full weight matrix (row-major, rows x cols), cost-free.
   void load(const std::vector<BitVec>& rows);
 

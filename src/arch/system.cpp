@@ -16,6 +16,11 @@ constexpr double kClockCapPerFlopFf = 0.85;
 /// Area overhead for clock distribution + inter-tile fabric.
 constexpr double kSystemAreaOverhead = 0.05;
 
+/// Sanity bound on any worker-pool size: deliberate oversubscription is
+/// allowed (it cannot change results), but a garbage request like
+/// (size_t)-1 must not exhaust OS threads.
+constexpr std::size_t kMaxThreads = 256;
+
 }  // namespace
 
 SystemSimulator::SystemSimulator(const TechnologyParams& tech,
@@ -310,10 +315,6 @@ RunResult SystemSimulator::run_batched(const std::vector<BitVec>& inputs,
   const std::size_t batch_size =
       run_cfg.batch_size != 0 ? std::min(run_cfg.batch_size, n) : n;
   const std::size_t num_batches = (n + batch_size - 1) / batch_size;
-  // Sanity bound on the pool size: deliberate oversubscription is allowed
-  // (it cannot change results), but a garbage request like (size_t)-1 must
-  // not exhaust OS threads.
-  constexpr std::size_t kMaxThreads = 256;
   std::size_t threads = run_cfg.num_threads != 0
                             ? run_cfg.num_threads
                             : std::max<std::size_t>(
@@ -423,39 +424,239 @@ OnlineRunResult SystemSimulator::run_online(
   };
   check_labels(labels);
   check_labels(eval_labels);
+  if (cfg.update_interval == 0) {
+    throw std::invalid_argument(
+        "SystemSimulator::run_online: update_interval must be >= 1");
+  }
 
   OnlineRunResult out;
   RunResult eval = run_batched(eval_inputs, &eval_labels, cfg.eval);
   out.initial_accuracy = eval.accuracy;
 
   learning::OnlineTrainer trainer(tiles_, cfg.trainer);
-  // Meter the serial training-phase forward passes: tile dynamic energies
-  // post into this ledger while the trainer streams samples; the clock tree
-  // and leakage are integrated over the counted serial cycles afterwards,
-  // so the adapt-phase energy story covers inference + updates.
+  // Meter the training-phase forward passes: every sample's tile dynamic
+  // energies post into per-(sample, tile) stage ledgers while it streams,
+  // merged into this ledger in (sample, tile) order -- identical for every
+  // worker count -- and the clock tree and leakage are integrated over the
+  // windowed pipeline cycles afterwards, so the adapt-phase energy story
+  // covers inference + updates. The rules' column updates run with every
+  // ledger detached; their cost is accounted once, via LearningStats.
   EnergyLedger train_ledger;
-  trainer.set_train_ledger(&train_ledger);
   const Energy clock_per_cycle = clock_energy_per_cycle();
   const Time period = clock_period();
   const Power leak = total_leakage();
 
   const std::size_t n = inputs.size();
+  const std::size_t k = cfg.update_interval;
+  const std::size_t last = tiles_.size() - 1;
+  std::size_t max_workers =
+      cfg.train.num_threads != 0
+          ? cfg.train.num_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  max_workers = std::min({max_workers, k, kMaxThreads});
+
+  // Which tiles have a rule staging into them (the output teacher always
+  // does; hidden tiles only under a hidden rule).
+  std::vector<std::uint8_t> plastic(tiles_.size(), 0);
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    plastic[t] = trainer.tile_plastic(t) ? 1 : 0;
+  }
+
+  // One record per window slot, reused across windows (ledgers reset, the
+  // BitVec / vector slots keep their capacity).
+  struct SampleRecord {
+    std::size_t winner = 0;
+    std::vector<std::uint64_t> busy;          // per tile: burst cycles
+    std::vector<EnergyLedger> ledgers;        // per tile: stage ledger
+    std::vector<BitVec> pre;                  // per plastic tile: its input
+    std::vector<std::vector<std::size_t>> hidden_cols;  // resolved winners
+    BitVec handoff;                           // inter-tile spike chain
+  };
+  std::vector<SampleRecord> recs(k);
+  for (SampleRecord& r : recs) {
+    r.busy.resize(tiles_.size());
+    r.ledgers.resize(tiles_.size());
+    r.pre.resize(tiles_.size());
+    r.hidden_cols.resize(tiles_.size());
+  }
+
+  // Forward `input` through `tiles` in a per-sample burst (the pipelined
+  // engine's per-sample walk), recording busy cycles, stage ledgers and the
+  // rule observations. Weights are frozen within a window, so this is
+  // independent per sample -- workers run it concurrently on their clones.
+  constexpr std::uint64_t kStepLimit = std::uint64_t{1} << 20;
+  auto forward_one = [&](std::vector<Tile>& tiles, const BitVec& input,
+                         SampleRecord& rec) {
+    const BitVec* spikes = &input;
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      Tile& tile = tiles[t];
+      rec.ledgers[t].reset();
+      tile.attach_ledger(&rec.ledgers[t]);
+      if (plastic[t] != 0) rec.pre[t] = *spikes;
+      tile.start_inference(*spikes);
+      std::uint64_t busy_cycles = 0;
+      while (tile.busy()) {
+        tile.step();
+        if (++busy_cycles > kStepLimit) {
+          tile.attach_ledger(nullptr);
+          throw std::logic_error("SystemSimulator: training deadlock");
+        }
+      }
+      rec.busy[t] = busy_cycles;
+      tile.attach_ledger(nullptr);
+      if (t == last) {
+        const std::vector<float> scores = tile.output_scores();
+        rec.winner = static_cast<std::size_t>(
+            std::max_element(scores.begin(), scores.end()) - scores.begin());
+        tile.consume_output();
+      } else {
+        if (plastic[t] != 0) {
+          trainer.rule(t)->resolve_forward(tile, rec.hidden_cols[t]);
+        }
+        rec.handoff = tile.take_output();
+        spikes = &rec.handoff;
+      }
+    }
+  };
+
+  // Per-worker deep-cloned pipelines (worker 0 always runs the canonical
+  // tiles), built lazily on the first multi-worker window and kept in sync
+  // column-wise after every commit.
+  std::vector<std::vector<Tile>> clone_pipelines;
+  std::vector<std::vector<std::size_t>> updated_cols;
+  std::vector<std::uint64_t> freed(tiles_.size(), 0);
+  std::vector<Time> cg_drains;  // per-column-group commit-queue scratch
+
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     const learning::LearningStats before = trainer.stats();
     const EnergyLedger ledger_before = train_ledger;
-    const std::uint64_t cycles_before = trainer.forward_cycles();
+    std::uint64_t epoch_cycles = 0;
     std::size_t online_hits = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (trainer.train_sample(inputs[i], labels[i]) == labels[i]) {
-        ++online_hits;
+    Time epoch_train_time{};
+
+    for (std::size_t w0 = 0; w0 < n; w0 += k) {
+      const std::size_t wn = std::min(k, n - w0);
+      const std::size_t workers = std::min(max_workers, wn);
+
+      // Phase 1: the window's forward passes, sharded contiguously.
+      if (workers <= 1) {
+        for (std::size_t s = 0; s < wn; ++s) {
+          forward_one(tiles_, inputs[w0 + s], recs[s]);
+        }
+      } else {
+        while (clone_pipelines.size() < workers - 1) {
+          clone_pipelines.emplace_back(tiles_);
+        }
+        const std::size_t chunk = (wn + workers - 1) / workers;
+        std::vector<std::exception_ptr> errors(workers);
+        std::vector<std::thread> pool;
+        pool.reserve(workers - 1);
+        for (std::size_t w = 1; w < workers; ++w) {
+          pool.emplace_back([&, w] {
+            try {
+              std::vector<Tile>& wt = clone_pipelines[w - 1];
+              const std::size_t s1 = std::min(wn, (w + 1) * chunk);
+              for (std::size_t s = w * chunk; s < s1; ++s) {
+                forward_one(wt, inputs[w0 + s], recs[s]);
+              }
+            } catch (...) {
+              errors[w] = std::current_exception();
+            }
+          });
+        }
+        try {
+          const std::size_t s1 = std::min(wn, chunk);
+          for (std::size_t s = 0; s < s1; ++s) {
+            forward_one(tiles_, inputs[w0 + s], recs[s]);
+          }
+        } catch (...) {
+          errors[0] = std::current_exception();
+        }
+        for (std::thread& th : pool) th.join();
+        for (const auto& err : errors) {
+          if (err) std::rethrow_exception(err);
+        }
       }
+
+      // Phase 2: retire in sample order -- accuracy, (sample, tile)-ordered
+      // ledger merge, the window's pipelined cycle schedule (the closed-form
+      // recurrence of stream_batch_pipelined, with the first latch at 0 so a
+      // one-sample window costs exactly its serial burst sum), and the rule
+      // observations staged in sample order.
+      std::fill(freed.begin(), freed.end(), 0);
+      std::uint64_t window_cycles = 0;
+      for (std::size_t s = 0; s < wn; ++s) {
+        SampleRecord& rec = recs[s];
+        const std::size_t i = w0 + s;
+        if (rec.winner == labels[i]) ++online_hits;
+        std::uint64_t latch = s == 0 ? 0 : freed[0];
+        for (std::size_t t = 0; t < tiles_.size(); ++t) {
+          train_ledger += rec.ledgers[t];
+          const std::uint64_t fire = latch + rec.busy[t];
+          if (t == last) {
+            freed[t] = fire;
+            window_cycles = fire;
+          } else {
+            freed[t] = std::max(fire, freed[t + 1]);
+            latch = freed[t];
+          }
+        }
+        for (std::size_t t = 0; t + 1 < tiles_.size(); ++t) {
+          if (plastic[t] != 0) {
+            trainer.stage_hidden(t, rec.pre[t], rec.hidden_cols[t]);
+          }
+        }
+        trainer.stage_label(rec.pre[last], rec.winner, labels[i]);
+      }
+      epoch_cycles += window_cycles;
+
+      // Phase 3: one commit per window, then resync only the written
+      // columns into the clones (cost-free copies; the clones never learn,
+      // they only mirror).
+      trainer.commit_pending(&updated_cols);
+      for (std::vector<Tile>& clone : clone_pipelines) {
+        for (std::size_t t = 0; t < tiles_.size(); ++t) {
+          for (const std::size_t j : updated_cols[t]) {
+            clone[t].copy_column_from(tiles_[t], j);
+          }
+        }
+      }
+
+      // The window's commit drain (see OnlineEpochStats::train_time). Each
+      // committed column is one RMW whose port time is the max over its
+      // row-group macros (exactly apply_column's worst_time). At k == 1
+      // every RMW sits on the inter-sample critical path, so the drains
+      // serialize into the established learning.time sum; at k > 1 the
+      // per-(tile, column-group) queues drain through their own RW ports
+      // concurrently in a dedicated commit phase, so the window pays only
+      // the longest queue.
+      Time drain{};
+      for (std::size_t t = 0; t < tiles_.size(); ++t) {
+        const Tile& tile = tiles_[t];
+        const std::size_t dim = tile.config().max_array_dim;
+        cg_drains.assign(tile.col_groups(), Time{});
+        for (const std::size_t j : updated_cols[t]) {
+          const std::size_t cg = j / dim;
+          Time worst{};
+          for (std::size_t rg = 0; rg < tile.row_groups(); ++rg) {
+            worst =
+                std::max(worst, tile.macro(rg, cg).column_update_cost().time);
+          }
+          if (k == 1) {
+            drain += worst;
+          } else {
+            cg_drains[cg] += worst;
+          }
+        }
+        for (const Time q : cg_drains) drain = std::max(drain, q);
+      }
+      epoch_train_time += period * static_cast<double>(window_cycles) + drain;
     }
-    const std::uint64_t train_cycles =
-        trainer.forward_cycles() - cycles_before;
+
     train_ledger.add(util::EnergyCategory::kClock,
-                     clock_per_cycle * static_cast<double>(train_cycles));
+                     clock_per_cycle * static_cast<double>(epoch_cycles));
     train_ledger.advance_time_with_leakage(
-        period * static_cast<double>(train_cycles), leak);
+        period * static_cast<double>(epoch_cycles), leak);
     eval = run_batched(eval_inputs, &eval_labels, cfg.eval);
 
     OnlineEpochStats ep;
@@ -463,11 +664,12 @@ OnlineRunResult SystemSimulator::run_online(
         static_cast<double>(online_hits) / static_cast<double>(n);
     ep.eval_accuracy = eval.accuracy;
     ep.learning = trainer.stats().since(before);
-    ep.train_cycles = train_cycles;
+    ep.train_cycles = epoch_cycles;
     ep.train_energy = train_ledger.since(ledger_before).total_energy();
+    ep.train_time = epoch_train_time;
+    out.train_time += epoch_train_time;
     out.epochs.push_back(ep);
   }
-  trainer.set_train_ledger(nullptr);
   out.learning = trainer.stats();
   out.tile_learning.reserve(trainer.tile_count());
   for (std::size_t t = 0; t < trainer.tile_count(); ++t) {

@@ -329,6 +329,26 @@ void Tile::adjust_readout_offset(std::size_t neuron, float delta) {
   readout_offsets_.at(neuron) += delta;
 }
 
+void Tile::copy_column_from(const Tile& src, std::size_t j) {
+  if (src.cfg_.inputs != cfg_.inputs || src.cfg_.outputs != cfg_.outputs ||
+      src.cfg_.max_array_dim != cfg_.max_array_dim) {
+    throw std::invalid_argument("Tile::copy_column_from: shape mismatch");
+  }
+  if (j >= cfg_.outputs) {
+    throw std::out_of_range("Tile::copy_column_from: column out of range");
+  }
+  const std::size_t cg = j / cfg_.max_array_dim;
+  const std::size_t local_col = j % cfg_.max_array_dim;
+  // Mirror the *observable* column: peek applies src's fault mask, so a
+  // clone with an identical fault map ends up observationally identical
+  // even where stuck cells diverge from what was written.
+  for (std::size_t rg = 0; rg < row_groups_; ++rg) {
+    macro(rg, cg).poke_column(local_col, src.macro(rg, cg).peek_column(
+                                             local_col));
+  }
+  readout_offsets_.at(j) = src.readout_offsets_.at(j);
+}
+
 void Tile::reset_membranes() {
   for (auto& n : neurons_) n.reset();
 }

@@ -64,14 +64,17 @@ EsamSystem::EsamSystem(const io::Checkpoint& ckpt, arch::SystemConfig hw)
 
 EsamSystem::EsamSystem(const io::Checkpoint& ckpt, arch::SystemConfig hw,
                        const tech::TechnologyParams& node)
-    : deployed_(ckpt.network), sim_(node, deployed_, hw) {}
+    : deployed_(ckpt.network), parent_crc_(ckpt.content_crc()),
+      sim_(node, deployed_, hw) {}
 
 void EsamSystem::deploy(const io::Checkpoint& ckpt) {
   sim_.import_network(ckpt.network);  // validates shape before mutating
   deployed_ = ckpt.network;
+  parent_crc_ = ckpt.content_crc();
 }
 
 io::Checkpoint EsamSystem::make_checkpoint(io::CheckpointMeta meta) const {
+  meta.parent_crc = parent_crc_;
   return io::Checkpoint::from_network(sim_.export_network(), std::move(meta));
 }
 
@@ -207,8 +210,11 @@ OnlineReport EsamSystem::learn_online(const OnlineOptions& opt) {
 
   arch::OnlineTrainConfig cfg;
   cfg.epochs = opt.epochs;
+  cfg.update_interval = opt.update_interval;
   cfg.trainer = opt.trainer;
   cfg.eval = opt.run;
+  cfg.train = opt.run;  // training windows reuse the eval worker count
+  rep.update_interval = opt.update_interval;
   const arch::OnlineRunResult r =
       sim_.run_online(train_in, train_lab, eval_in, eval_lab, cfg);
 
@@ -219,6 +225,7 @@ OnlineReport EsamSystem::learn_online(const OnlineOptions& opt) {
     rep.train_cycles += ep.train_cycles;
   }
   rep.column_updates = r.learning.column_updates;
+  rep.column_rmws = r.learning.column_rmws;
   for (const learning::LearningStats& ts : r.tile_learning) {
     rep.tile_column_updates.push_back(ts.column_updates);
   }
@@ -265,8 +272,11 @@ void OnlineReport::print() const {
                      100.0 * epoch_eval_accuracy[e],
                      100.0 * epoch_online_accuracy[e])});
   }
+  t.row({"update interval (k)", util::fmt("%zu", update_interval)});
   t.row({"column updates",
-         util::fmt("%llu", static_cast<unsigned long long>(column_updates))});
+         util::fmt("%llu staged, %llu RMWs",
+                   static_cast<unsigned long long>(column_updates),
+                   static_cast<unsigned long long>(column_rmws))});
   for (std::size_t i = 0; i < tile_column_updates.size(); ++i) {
     const bool output = i + 1 == tile_column_updates.size();
     t.row({util::fmt("  tile %zu (%s)", i, output ? "output" : "hidden"),

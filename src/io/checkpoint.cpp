@@ -98,7 +98,7 @@ Checkpoint Checkpoint::from_network(nn::SnnNetwork net, CheckpointMeta meta) {
   return ck;
 }
 
-std::vector<std::uint8_t> Checkpoint::encode() const {
+std::vector<std::uint8_t> Checkpoint::encode_payload() const {
   const auto& layers = network.layers();
   if (layers.empty()) {
     throw CheckpointError("Checkpoint::encode: empty network");
@@ -108,6 +108,7 @@ std::vector<std::uint8_t> Checkpoint::encode() const {
   payload.string(meta.source);
   payload.string(meta.note);
   payload.scalar<std::uint64_t>(meta.created_unix);
+  payload.scalar<std::uint32_t>(meta.parent_crc);
   for (const nn::SnnLayer& l : layers) {
     payload.scalar<std::uint64_t>(l.in_features());
     payload.scalar<std::uint64_t>(l.out_features());
@@ -120,16 +121,27 @@ std::vector<std::uint8_t> Checkpoint::encode() const {
                   row.words().size() * sizeof(std::uint64_t));
     }
   }
+  return std::move(payload.bytes);
+}
+
+std::uint32_t Checkpoint::content_crc() const {
+  const std::vector<std::uint8_t> payload = encode_payload();
+  return crc32(payload.data(), payload.size());
+}
+
+std::vector<std::uint8_t> Checkpoint::encode() const {
+  const std::vector<std::uint8_t> payload_bytes = encode_payload();
+  const auto& layers = network.layers();
 
   Writer out;
   out.raw(kMagic.data(), kMagic.size());
   out.scalar<std::uint32_t>(kFormatVersion);
   out.scalar<std::uint32_t>(static_cast<std::uint32_t>(layers.size()));
-  out.scalar<std::uint64_t>(payload.bytes.size());
-  out.scalar<std::uint32_t>(crc32(payload.bytes.data(), payload.bytes.size()));
+  out.scalar<std::uint64_t>(payload_bytes.size());
+  out.scalar<std::uint32_t>(crc32(payload_bytes.data(), payload_bytes.size()));
   out.scalar<std::uint32_t>(0);  // reserved
-  out.bytes.insert(out.bytes.end(), payload.bytes.begin(),
-                   payload.bytes.end());
+  out.bytes.insert(out.bytes.end(), payload_bytes.begin(),
+                   payload_bytes.end());
   return out.bytes;
 }
 
@@ -144,7 +156,7 @@ Checkpoint Checkpoint::decode(const std::vector<std::uint8_t>& bytes) {
     throw CheckpointError("not an ESAM checkpoint (bad magic)");
   }
   const auto version = header.scalar<std::uint32_t>();
-  if (version != kFormatVersion) {
+  if (version == 0 || version > kFormatVersion) {
     throw CheckpointError("unsupported checkpoint format version " +
                           std::to_string(version));
   }
@@ -169,6 +181,8 @@ Checkpoint Checkpoint::decode(const std::vector<std::uint8_t>& bytes) {
   ck.meta.source = r.string();
   ck.meta.note = r.string();
   ck.meta.created_unix = r.scalar<std::uint64_t>();
+  // Version 1 predates lineage tracking; those files have no parent field.
+  ck.meta.parent_crc = version >= 2 ? r.scalar<std::uint32_t>() : 0;
 
   std::vector<nn::SnnLayer> layers;
   layers.reserve(n_layers);

@@ -9,22 +9,32 @@ OnlineLearner::OnlineLearner(arch::Tile& tile, StdpConfig cfg)
     : tile_(&tile), rule_(cfg) {}
 
 void OnlineLearner::reward(std::size_t j, const util::BitVec& pre_spikes) {
-  update_column(j, pre_spikes, /*causal=*/true);
+  const PendingUpdate e{pre_spikes, j, /*causal=*/true};
+  const PendingUpdate* ep = &e;
+  apply_column(j, std::span<const PendingUpdate* const>(&ep, 1));
 }
 
 void OnlineLearner::punish(std::size_t j, const util::BitVec& pre_spikes) {
-  update_column(j, pre_spikes, /*causal=*/false);
+  const PendingUpdate e{pre_spikes, j, /*causal=*/false};
+  const PendingUpdate* ep = &e;
+  apply_column(j, std::span<const PendingUpdate* const>(&ep, 1));
 }
 
-void OnlineLearner::update_column(std::size_t j,
-                                  const util::BitVec& pre_spikes,
-                                  bool causal) {
+void OnlineLearner::apply_column(
+    std::size_t j, std::span<const PendingUpdate* const> events) {
+  if (events.empty()) return;
   const arch::TileConfig& cfg = tile_->config();
   if (j >= cfg.outputs) {
     throw std::out_of_range("OnlineLearner: post-neuron index out of range");
   }
-  if (pre_spikes.size() != cfg.inputs) {
-    throw std::invalid_argument("OnlineLearner: pre-spike width mismatch");
+  for (const PendingUpdate* e : events) {
+    if (e->column != j) {
+      throw std::invalid_argument(
+          "OnlineLearner::apply_column: event aimed at a different column");
+    }
+    if (e->pre.size() != cfg.inputs) {
+      throw std::invalid_argument("OnlineLearner: pre-spike width mismatch");
+    }
   }
   const std::size_t cg = j / cfg.max_array_dim;
   const std::size_t local_col = j % cfg.max_array_dim;
@@ -36,16 +46,21 @@ void OnlineLearner::update_column(std::size_t j,
     const std::size_t rows = m.geometry().rows;
     const std::size_t row0 = rg * cfg.max_array_dim;
 
-    // Pre-synaptic slice of this row-group (word-packed; this is a per-
-    // update hot path once the system trainer drives it).
-    const util::BitVec pre = pre_spikes.slice(row0, rows);
-
     // Column read-modify-write through the RW port (energy posted by the
-    // macro; time from the timing model, parallel across row-groups).
+    // macro; time from the timing model, parallel across row-groups). The
+    // staged events fold over the in-flight value in staged order: each
+    // event draws its own Bernoulli masks, but the port traffic -- one read
+    // and one write -- is paid once per commit, which is the delayed-update
+    // throughput win (arXiv:2412.05302).
     const util::BitVec old_weights = m.read_column(local_col);
-    const util::BitVec updated =
-        causal ? rule_.potentiate(old_weights, pre)
-               : rule_.depress(old_weights, pre);
+    util::BitVec updated = old_weights;
+    for (const PendingUpdate* e : events) {
+      // Pre-synaptic slice of this row-group (word-packed; this is a per-
+      // update hot path once the system trainer drives it).
+      const util::BitVec pre = e->pre.slice(row0, rows);
+      updated = e->causal ? rule_.potentiate(updated, pre)
+                          : rule_.depress(updated, pre);
+    }
     m.write_column(local_col, updated);
     // Measure what the array actually stores, not what we asked for:
     // stuck-at cells silently ignore writes, and the offset must track the
@@ -67,7 +82,8 @@ void OnlineLearner::update_column(std::size_t j,
     tile_->adjust_readout_offset(j, static_cast<float>(flipped_to_one));
   }
   stats_.time += worst_time;
-  ++stats_.column_updates;
+  stats_.column_updates += events.size();
+  ++stats_.column_rmws;
 }
 
 }  // namespace esam::learning

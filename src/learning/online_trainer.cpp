@@ -75,9 +75,16 @@ std::size_t OnlineTrainer::classify(const util::BitVec& input) {
 
 std::size_t OnlineTrainer::train_sample(const util::BitVec& input,
                                         std::size_t label) {
+  const std::size_t winner = stage_sample(input, label);
+  commit_pending();
+  return winner;
+}
+
+std::size_t OnlineTrainer::stage_sample(const util::BitVec& input,
+                                        std::size_t label) {
   std::vector<arch::Tile>& tiles = *tiles_;
   if (label >= tiles.back().config().outputs) {
-    throw std::out_of_range("OnlineTrainer::train_sample: label out of range");
+    throw std::out_of_range("OnlineTrainer::stage_sample: label out of range");
   }
   // Meter the forward pass only: the rules' column updates are accounted
   // once, through their LearningStats (folded into the kLearning category
@@ -95,11 +102,42 @@ std::size_t OnlineTrainer::train_sample(const util::BitVec& input,
   return winner;
 }
 
+void OnlineTrainer::stage_hidden(std::size_t t, const util::BitVec& pre_spikes,
+                                 std::span<const std::size_t> winners) {
+  auto& r = rules_.at(t);
+  if (r != nullptr) r->stage_rewards(pre_spikes, winners);
+}
+
+void OnlineTrainer::stage_label(const util::BitVec& pre_spikes,
+                                std::size_t winner, std::size_t label) {
+  rules_.back()->on_label(pre_spikes, winner, label);
+}
+
+void OnlineTrainer::commit_pending(
+    std::vector<std::vector<std::size_t>>* updated) {
+  if (updated != nullptr) updated->resize(rules_.size());
+  for (std::size_t t = 0; t < rules_.size(); ++t) {
+    std::vector<std::size_t>* cols =
+        updated != nullptr ? &(*updated)[t] : nullptr;
+    if (cols != nullptr) cols->clear();
+    if (rules_[t] != nullptr) rules_[t]->commit(cols);
+  }
+}
+
+std::size_t OnlineTrainer::pending_count() const {
+  std::size_t total = 0;
+  for (const auto& r : rules_) {
+    if (r != nullptr) total += r->pending_count();
+  }
+  return total;
+}
+
 LearningStats OnlineTrainer::stats() const {
   LearningStats total;
   for (const auto& r : rules_) {
     if (r == nullptr) continue;
     total.column_updates += r->stats().column_updates;
+    total.column_rmws += r->stats().column_rmws;
     total.time += r->stats().time;
     total.energy += r->stats().energy;
   }

@@ -4,6 +4,45 @@
 #include <stdexcept>
 
 namespace esam::learning {
+namespace {
+
+/// Shared WTA winner selection: the k fired columns with the largest
+/// fire-time Vmem margin over threshold, ties broken by column index,
+/// returned in ascending column order. `vmem_source` provides fire_vmem and
+/// thresholds -- the rule's own tile on the serial path, a per-worker clone
+/// on the batched path.
+void select_wta_winners(const arch::Tile& vmem_source,
+                        const util::BitVec& post_spikes, std::size_t k,
+                        std::vector<std::size_t>& out) {
+  out.clear();
+  if (post_spikes.none()) return;  // no post-synaptic learning event
+
+  post_spikes.for_each_set([&out](std::size_t j) { out.push_back(j); });
+
+  if (out.size() > k) {
+    // Winner ranking: fire-time membrane margin over the column's threshold
+    // (how decisively the neuron fired), ties broken by column index so the
+    // selection is fully deterministic.
+    const std::vector<std::int32_t>& vmem = vmem_source.fire_vmem();
+    auto margin = [&](std::size_t j) {
+      return vmem[j] - vmem_source.neuron(j).vth();
+    };
+    std::partial_sort(out.begin(),
+                      out.begin() + static_cast<std::ptrdiff_t>(k), out.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        const auto ma = margin(a);
+                        const auto mb = margin(b);
+                        return ma != mb ? ma > mb : a < b;
+                      });
+    out.resize(k);
+    // Keep the update order independent of the ranking permutation: the
+    // per-column Bernoulli draws come from one sequential stream, so a
+    // stable column order makes trajectories comparable across k.
+    std::sort(out.begin(), out.end());
+  }
+}
+
+}  // namespace
 
 std::string_view to_string(HiddenRule rule) {
   switch (rule) {
@@ -30,6 +69,57 @@ void LearningRule::on_forward(const util::BitVec& /*pre_spikes*/,
 void LearningRule::on_label(const util::BitVec& /*pre_spikes*/,
                             std::size_t /*winner*/, std::size_t /*label*/) {}
 
+void LearningRule::resolve_forward(const arch::Tile& /*observed*/,
+                                   std::vector<std::size_t>& out) const {
+  out.clear();
+}
+
+void LearningRule::stage_rewards(const util::BitVec& pre_spikes,
+                                 std::span<const std::size_t> columns) {
+  for (const std::size_t j : columns) {
+    stage(j, pre_spikes, /*causal=*/true);
+  }
+}
+
+void LearningRule::stage(std::size_t column, const util::BitVec& pre_spikes,
+                         bool causal) {
+  if (pending_count_ == pending_.size()) {
+    pending_.emplace_back();
+  }
+  // Slot reuse: BitVec assignment into a retained slot keeps its word
+  // storage, so steady-state staging performs no allocation.
+  PendingUpdate& e = pending_[pending_count_++];
+  e.pre = pre_spikes;
+  e.column = column;
+  e.causal = causal;
+}
+
+void LearningRule::commit(std::vector<std::size_t>* updated_columns) {
+  if (updated_columns != nullptr) updated_columns->clear();
+  if (pending_count_ == 0) return;
+  // Distinct columns in first-staged order, each column's events gathered in
+  // staged order. Pending windows are small (a few events per sample), so
+  // the quadratic first-occurrence scan beats hashing here.
+  for (std::size_t i = 0; i < pending_count_; ++i) {
+    const std::size_t col = pending_[i].column;
+    bool seen = false;
+    for (std::size_t p = 0; p < i; ++p) {
+      if (pending_[p].column == col) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    batch_scratch_.clear();
+    for (std::size_t p = i; p < pending_count_; ++p) {
+      if (pending_[p].column == col) batch_scratch_.push_back(&pending_[p]);
+    }
+    learner_.apply_column(col, batch_scratch_);
+    if (updated_columns != nullptr) updated_columns->push_back(col);
+  }
+  pending_count_ = 0;
+}
+
 SupervisedTeacherRule::SupervisedTeacherRule(arch::Tile& tile, StdpConfig stdp,
                                              TeacherRuleConfig cfg)
     : LearningRule(tile, stdp), cfg_(cfg) {
@@ -45,9 +135,9 @@ void SupervisedTeacherRule::on_label(const util::BitVec& pre_spikes,
     throw std::out_of_range("SupervisedTeacherRule: label out of range");
   }
   if (winner == label && !cfg_.update_on_correct) return;
-  learner_.reward(label, pre_spikes);
+  stage(label, pre_spikes, /*causal=*/true);
   if (cfg_.punish_wrong_winner && winner != label) {
-    learner_.punish(winner, pre_spikes);
+    stage(winner, pre_spikes, /*causal=*/false);
   }
 }
 
@@ -65,38 +155,13 @@ WtaStdpRule::WtaStdpRule(arch::Tile& tile, StdpConfig stdp, std::size_t k)
 
 void WtaStdpRule::on_forward(const util::BitVec& pre_spikes,
                              const util::BitVec& post_spikes) {
-  if (post_spikes.none()) return;  // no post-synaptic learning event
+  select_wta_winners(*tile_, post_spikes, k_, fired_scratch_);
+  stage_rewards(pre_spikes, fired_scratch_);
+}
 
-  fired_scratch_.clear();
-  post_spikes.for_each_set(
-      [this](std::size_t j) { fired_scratch_.push_back(j); });
-
-  if (fired_scratch_.size() > k_) {
-    // Winner ranking: fire-time membrane margin over the column's threshold
-    // (how decisively the neuron fired), ties broken by column index so the
-    // selection is fully deterministic.
-    const std::vector<std::int32_t>& vmem = tile_->fire_vmem();
-    auto margin = [&](std::size_t j) {
-      return vmem[j] - tile_->neuron(j).vth();
-    };
-    std::partial_sort(fired_scratch_.begin(), fired_scratch_.begin() +
-                          static_cast<std::ptrdiff_t>(k_),
-                      fired_scratch_.end(),
-                      [&](std::size_t a, std::size_t b) {
-                        const auto ma = margin(a);
-                        const auto mb = margin(b);
-                        return ma != mb ? ma > mb : a < b;
-                      });
-    fired_scratch_.resize(k_);
-    // Keep the update order independent of the ranking permutation: the
-    // per-column Bernoulli draws come from one sequential stream, so a
-    // stable column order makes trajectories comparable across k.
-    std::sort(fired_scratch_.begin(), fired_scratch_.end());
-  }
-
-  for (const std::size_t j : fired_scratch_) {
-    learner_.reward(j, pre_spikes);
-  }
+void WtaStdpRule::resolve_forward(const arch::Tile& observed,
+                                  std::vector<std::size_t>& out) const {
+  select_wta_winners(observed, observed.last_output(), k_, out);
 }
 
 }  // namespace esam::learning

@@ -12,6 +12,40 @@ namespace esam::serve {
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+/// Retained queue-wait samples per client (see WaitRecorder): small enough
+/// to copy at every stats() snapshot, large enough for a stable p99.
+constexpr std::size_t kWaitSampleCap = 512;
+
+/// Percentile of `samples` (copied by value: nth_element reorders) by the
+/// nearest-rank method on the decimated sample.
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  auto nth = samples.begin() + static_cast<std::ptrdiff_t>(rank);
+  std::nth_element(samples.begin(), nth, samples.end());
+  return *nth;
+}
+
+}  // namespace
+
+void InferenceServer::WaitRecorder::record(double wait_us) {
+  if (seen++ % stride != 0) return;
+  if (samples.size() >= kWaitSampleCap) {
+    // Deterministic decimation: keep every other retained sample and
+    // double the stride going forward -- the buffer stays a uniform
+    // 1-in-stride subsample of the whole history without any RNG.
+    for (std::size_t i = 0; 2 * i < samples.size(); ++i) {
+      samples[i] = samples[2 * i];
+    }
+    samples.resize((samples.size() + 1) / 2);
+    stride *= 2;
+  }
+  samples.push_back(wait_us);
+}
+
 InferenceServer::InferenceServer(const tech::TechnologyParams& node,
                                  arch::SystemConfig hw, io::Checkpoint ckpt,
                                  ServerConfig cfg)
@@ -22,6 +56,7 @@ InferenceServer::InferenceServer(const tech::TechnologyParams& node,
   cfg_.num_workers = std::max<std::size_t>(1, cfg_.num_workers);
   cfg_.max_batch = std::max<std::size_t>(1, cfg_.max_batch);
   cfg_.adapt_batch = std::max<std::size_t>(1, cfg_.adapt_batch);
+  cfg_.update_interval = std::max<std::size_t>(1, cfg_.update_interval);
   input_width_ = ckpt.network.layers().front().in_features();
   auto p = std::make_shared<Published>();
   p->ckpt = std::move(ckpt);
@@ -161,7 +196,16 @@ std::uint64_t InferenceServer::model_version() const {
 
 ServerStats InferenceServer::stats() const {
   util::MutexLock lk(stats_mutex_);
-  return stats_;
+  ServerStats snap = stats_;
+  // Percentiles are computed at snapshot time from the bounded recorders
+  // (the hot serve path only appends; no sorting under load).
+  for (auto& [client, c] : snap.clients) {
+    const auto it = queue_waits_.find(client);
+    if (it == queue_waits_.end()) continue;
+    c.queue_wait_p50_us = percentile(it->second.samples, 0.50);
+    c.queue_wait_p99_us = percentile(it->second.samples, 0.99);
+  }
+  return snap;
 }
 
 void InferenceServer::worker_loop() {
@@ -278,6 +322,7 @@ void InferenceServer::serve_batch(arch::SystemSimulator& sim,
       c.modeled_energy_pj += results[i].modeled_energy_pj;
       c.modeled_latency_ns += results[i].modeled_latency_ns;
       c.queue_wait_us += results[i].queue_wait_us;
+      queue_waits_[batch[i].client].record(results[i].queue_wait_us);
     }
   }
 
@@ -296,6 +341,7 @@ void InferenceServer::adapt_loop() {
   io::CheckpointMeta meta = model->ckpt.meta;
   model.reset();
   learning::OnlineTrainer trainer(learn_sim.tiles(), cfg_.trainer);
+  std::size_t staged = 0;  // samples staged since the last commit
 
   util::UniqueLock lk(adapt_mutex_);
   for (;;) {
@@ -312,9 +358,25 @@ void InferenceServer::adapt_loop() {
     samples.swap(adapt_buffer_);
     lk.unlock();
 
+    // k-step delayed updates: stage every sample and commit each time the
+    // window fills; the tail commit below flushes any partial window, so a
+    // commit window never spans a publish and the published weights always
+    // reflect every sample of the round.
     for (const auto& [input, label] : samples) {
-      trainer.train_sample(input, label);
+      trainer.stage_sample(input, label);
+      if (++staged >= cfg_.update_interval) {
+        trainer.commit_pending();
+        staged = 0;
+      }
     }
+    if (staged != 0) {
+      trainer.commit_pending();
+      staged = 0;
+    }
+    // Lineage: the adapted weights descend from whatever checkpoint serving
+    // traffic sees right now, so the published chain stays auditable with
+    // `esam checkpoint diff`.
+    meta.parent_crc = snapshot_model()->ckpt.content_crc();
     io::Checkpoint ck =
         io::Checkpoint::from_network(learn_sim.export_network(), meta);
     publish(std::move(ck));

@@ -87,6 +87,16 @@ void SramMacro::poke(std::size_t row, std::size_t col, bool value) {
   bits_[row].set(col, value);
 }
 
+void SramMacro::poke_column(std::size_t col, const BitVec& bits) {
+  check_col(col);
+  if (bits.size() != geometry().rows) {
+    throw std::invalid_argument("SramMacro::poke_column: row count mismatch");
+  }
+  for (std::size_t r = 0; r < geometry().rows; ++r) {
+    bits_[r].set(col, bits.test(r));
+  }
+}
+
 void SramMacro::load(const std::vector<BitVec>& rows) {
   if (rows.size() != geometry().rows) {
     throw std::invalid_argument("SramMacro::load: row count mismatch");

@@ -14,6 +14,7 @@
 //   esam sweep-vprech                 the Fig. 7 precharge-voltage study
 //   esam learn                        sec. 4.4.1 learning-cost comparison
 //   esam checkpoint save|load|info F  persist / redeploy / inspect weights
+//   esam checkpoint diff A B          per-layer weight diff + lineage check
 //   esam serve [options]              in-process inference-server demo
 //   esam help [verb]                  generated usage
 #include <atomic>
@@ -59,6 +60,7 @@ enum class OptId {
   kHiddenRule,
   kWtaK,
   kHoldout,
+  kUpdateInterval,
   kNote,
   kCheckpoint,
   kClients,
@@ -110,6 +112,10 @@ const OptionDef kOptionTable[] = {
     {OptId::kHoldout, "--holdout", "F",
      "hold out this fraction of the samples as a separate eval stream, "
      "in [0, 1) (default 0 = eval on the training stream)"},
+    {OptId::kUpdateInterval, "--update-interval", "K",
+     "k-step delayed updates: commit staged column updates every K "
+     "training samples (default 1 = the serial immediate-update "
+     "reference)"},
     {OptId::kNote, "--note", "TEXT",
      "free-form note stored in the checkpoint metadata"},
     {OptId::kCheckpoint, "--checkpoint", "FILE",
@@ -160,6 +166,7 @@ struct CliOptions {
   learning::HiddenRule hidden_rule = learning::HiddenRule::kNone;
   std::size_t wta_k = 1;
   double holdout = 0.0;
+  std::size_t update_interval = 1;
   std::string note;
   std::string checkpoint_path;
   std::size_t clients = 4;
@@ -231,7 +238,7 @@ const VerbDef kVerbs[] = {
      {OptId::kCell, OptId::kVprech, OptId::kInferences, OptId::kTrace,
       OptId::kLowPower, OptId::kThreads, OptId::kBatch, OptId::kLearn,
       OptId::kEpochs, OptId::kDrift, OptId::kHiddenRule, OptId::kWtaK,
-      OptId::kHoldout, OptId::kSimd, OptId::kEngine},
+      OptId::kHoldout, OptId::kUpdateInterval, OptId::kSimd, OptId::kEngine},
      cmd_report},
     {"sweep-cells", "", "all five cells side by side (Fig. 8)",
      "Evaluates the same trained model on every bitcell variant and prints\n"
@@ -248,20 +255,23 @@ const VerbDef kVerbs[] = {
      "Analytic read-modify-write cost of one column update per cell variant\n"
      "vs the 6T baseline; no model or pipeline is built.",
      0, 0, {}, cmd_learn},
-    {"checkpoint", "save|load|info FILE",
-     "persist, redeploy or inspect deployed weights",
+    {"checkpoint", "save|load|info FILE | diff FILE FILE",
+     "persist, redeploy, inspect or compare deployed weights",
      "save FILE  trains (or loads the cached) model, optionally adapts it in\n"
      "           the field first (--learn and its knobs), then snapshots the\n"
      "           live SRAM weights into FILE (--note attaches metadata).\n"
      "load FILE  deploys FILE into freshly built hardware -- no retraining --\n"
      "           and evaluates it on the standard test stream.\n"
      "info FILE  prints the checkpoint metadata and shape without building\n"
-     "           any hardware.",
-     2, 2,
+     "           any hardware.\n"
+     "diff A B   compares two checkpoints layer by layer (weight bits that\n"
+     "           differ) and verifies the lineage link: does B record A's\n"
+     "           content CRC as its parent?",
+     2, 3,
      {OptId::kCell, OptId::kVprech, OptId::kLowPower, OptId::kInferences,
       OptId::kThreads, OptId::kBatch, OptId::kLearn, OptId::kEpochs,
       OptId::kDrift, OptId::kHiddenRule, OptId::kWtaK, OptId::kHoldout,
-      OptId::kNote, OptId::kSimd, OptId::kEngine},
+      OptId::kUpdateInterval, OptId::kNote, OptId::kSimd, OptId::kEngine},
      cmd_checkpoint},
     {"serve", "", "in-process inference-server demo",
      "Deploys a model (--checkpoint FILE, or the trained/cached model) into\n"
@@ -277,7 +287,7 @@ const VerbDef kVerbs[] = {
      {OptId::kCell, OptId::kVprech, OptId::kLowPower, OptId::kInferences,
       OptId::kCheckpoint, OptId::kClients, OptId::kRequests, OptId::kWorkers,
       OptId::kMaxBatch, OptId::kMaxDelayUs, OptId::kAdapt, OptId::kAdaptBatch,
-      OptId::kHiddenRule, OptId::kWtaK, OptId::kSimd},
+      OptId::kUpdateInterval, OptId::kHiddenRule, OptId::kWtaK, OptId::kSimd},
      cmd_serve},
     {"help", "[verb]", "this overview, or one verb's options",
      "Prints the verb table, or the usage, description and accepted options\n"
@@ -477,6 +487,13 @@ std::optional<ParsedArgs> parse_args(const VerbDef& verb, int argc,
       case OptId::kHoldout:
         if (!need_double(opt.holdout, 0.0, 0.99)) return std::nullopt;
         break;
+      case OptId::kUpdateInterval:
+        if (!need_size(opt.update_interval)) return std::nullopt;
+        if (opt.update_interval == 0) {
+          std::fprintf(stderr, "esam: --update-interval must be >= 1\n");
+          return std::nullopt;
+        }
+        break;
       case OptId::kNote:
         if (!need_string(opt.note)) return std::nullopt;
         break;
@@ -588,6 +605,7 @@ core::OnlineOptions online_options(const CliOptions& opt) {
   oo.trainer.hidden_rule = opt.hidden_rule;
   oo.trainer.wta_k = opt.wta_k;
   oo.holdout_fraction = opt.holdout;
+  oo.update_interval = opt.update_interval;
   oo.run = opt.run_config();
   return oo;
 }
@@ -631,7 +649,59 @@ void print_checkpoint_info(const std::string& path,
   }
   table.row({"source", ckpt.meta.source.empty() ? "-" : ckpt.meta.source});
   table.row({"note", ckpt.meta.note.empty() ? "-" : ckpt.meta.note});
+  table.row({"content CRC-32", util::fmt("%08x", ckpt.content_crc())});
+  table.row({"parent CRC-32",
+             ckpt.meta.parent_crc == 0
+                 ? std::string("- (no recorded parent)")
+                 : util::fmt("%08x", ckpt.meta.parent_crc)});
   table.print();
+}
+
+/// `esam checkpoint diff A B`: per-layer weight diff plus the lineage
+/// verdict (does B record A's content CRC as its parent?).
+int cmd_checkpoint_diff(const std::string& path_a, const std::string& path_b) {
+  const io::Checkpoint a = io::Checkpoint::load(path_a);
+  const io::Checkpoint b = io::Checkpoint::load(path_b);
+  if (a.shape() != b.shape()) {
+    std::fprintf(stderr,
+                 "esam: checkpoint shapes differ (%s vs %s); no weight "
+                 "diff is defined\n",
+                 shape_string(a.shape()).c_str(),
+                 shape_string(b.shape()).c_str());
+    return 1;
+  }
+
+  util::Table table("checkpoint diff: " + path_a + " -> " + path_b);
+  table.header({"layer", "shape", "weight bits differing"});
+  std::uint64_t total = 0;
+  const auto& la = a.network.layers();
+  const auto& lb = b.network.layers();
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    const std::size_t d = nn::weight_diff_count(la[i], lb[i]);
+    total += d;
+    table.row({util::fmt("%zu", i),
+               util::fmt("%zu x %zu", la[i].in_features(),
+                         la[i].out_features()),
+               util::fmt("%zu", d)});
+  }
+  table.row({"total", shape_string(a.shape()),
+             util::fmt("%llu", static_cast<unsigned long long>(total))});
+  table.print();
+
+  const std::uint32_t a_crc = a.content_crc();
+  if (b.meta.parent_crc == 0) {
+    std::printf("lineage: %s records no parent\n", path_b.c_str());
+  } else if (b.meta.parent_crc == a_crc) {
+    std::printf("lineage: MATCH -- %s is a child of %s (parent CRC %08x)\n",
+                path_b.c_str(), path_a.c_str(), a_crc);
+  } else {
+    std::printf(
+        "lineage: MISMATCH -- %s records parent CRC %08x, but %s has "
+        "content CRC %08x\n",
+        path_b.c_str(), b.meta.parent_crc, path_a.c_str(), a_crc);
+    return 1;
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -829,6 +899,17 @@ int cmd_checkpoint(const CliOptions& opt,
                    const std::vector<std::string>& pos) {
   const std::string& sub = pos[0];
   const std::string& path = pos[1];
+  if (sub == "diff") {
+    if (pos.size() != 3) {
+      std::fprintf(stderr, "usage: esam checkpoint diff FILE FILE\n");
+      return 2;
+    }
+    return cmd_checkpoint_diff(pos[1], pos[2]);
+  }
+  if (pos.size() != 2) {
+    std::fprintf(stderr, "usage: esam checkpoint %s FILE\n", sub.c_str());
+    return 2;
+  }
   if (sub == "info") {
     print_checkpoint_info(path, io::Checkpoint::load(path));
     return 0;
@@ -862,7 +943,7 @@ int cmd_checkpoint(const CliOptions& opt,
   }
   std::fprintf(stderr,
                "esam: unknown checkpoint subcommand '%s' "
-               "(save | load | info)\n",
+               "(save | load | info | diff)\n",
                sub.c_str());
   return 2;
 }
@@ -903,7 +984,10 @@ int cmd_serve(const CliOptions& opt, const std::vector<std::string>&) {
   const std::vector<util::BitVec> ref_inputs(
       eval.spikes.begin(),
       eval.spikes.begin() + static_cast<std::ptrdiff_t>(n));
-  const arch::RunResult ref = ref_sim.run(ref_inputs);
+  const std::vector<std::uint8_t> ref_labels(
+      eval.labels.begin(),
+      eval.labels.begin() + static_cast<std::ptrdiff_t>(n));
+  const arch::RunResult ref = ref_sim.run(ref_inputs, &ref_labels);
 
   serve::ServerConfig scfg;
   scfg.num_workers = opt.workers;
@@ -911,6 +995,7 @@ int cmd_serve(const CliOptions& opt, const std::vector<std::string>&) {
   scfg.max_delay_us = opt.max_delay_us;
   scfg.adapt = opt.adapt;
   scfg.adapt_batch = opt.adapt_batch;
+  scfg.update_interval = opt.update_interval;
   // Fine-tuning operating point (see core::OnlineOptions): gentle rates so
   // adaptation nudges the deployed structure instead of erasing it.
   scfg.trainer.stdp = {.p_potentiation = 0.05, .p_depression = 0.015,
@@ -999,14 +1084,16 @@ int cmd_serve(const CliOptions& opt, const std::vector<std::string>&) {
   table.print();
 
   util::Table per_client("per-client accounting");
-  per_client.header({"client", "requests", "avg wait [us]",
-                     "avg latency [ns]", "energy [pJ]"});
+  per_client.header({"client", "requests", "avg wait [us]", "p50 wait [us]",
+                     "p99 wait [us]", "avg latency [ns]", "energy [pJ]"});
   for (const auto& [id, c] : stats.clients) {
     const double reqs = static_cast<double>(c.requests);
     per_client.row({util::fmt("%llu", static_cast<unsigned long long>(id)),
                     util::fmt("%llu",
                               static_cast<unsigned long long>(c.requests)),
                     util::fmt("%.1f", c.queue_wait_us / reqs),
+                    util::fmt("%.1f", c.queue_wait_p50_us),
+                    util::fmt("%.1f", c.queue_wait_p99_us),
                     util::fmt("%.1f", c.modeled_latency_ns / reqs),
                     util::fmt("%.1f", c.modeled_energy_pj)});
   }

@@ -287,5 +287,88 @@ TEST(Checkpoint, EsamSystemDeploymentFacade) {
   EXPECT_THROW(system.attach_test_data(narrow), std::invalid_argument);
 }
 
+// --- lineage ---------------------------------------------------------------
+
+TEST(Checkpoint, LineageParentCrcRoundTrips) {
+  const nn::SnnNetwork snn = random_snn({64, 32, 5}, 318);
+  const Checkpoint parent = Checkpoint::from_network(snn);
+  const Checkpoint child = Checkpoint::from_network(
+      snn, {.source = "adapt", .note = "", .created_unix = 1700000001,
+            .parent_crc = parent.content_crc()});
+
+  const Checkpoint back = Checkpoint::decode(child.encode());
+  EXPECT_EQ(back.meta.parent_crc, parent.content_crc());
+
+  // The lineage field is part of the content identity: two checkpoints with
+  // the same weights but different parents are different artifacts.
+  const Checkpoint other = Checkpoint::from_network(
+      snn, {.source = "adapt", .note = "", .created_unix = 1700000001,
+            .parent_crc = parent.content_crc() ^ 1u});
+  EXPECT_NE(child.content_crc(), other.content_crc());
+
+  const std::string path = temp_path("ckpt_lineage.esam");
+  child.save(path);
+  EXPECT_EQ(Checkpoint::load(path).meta.parent_crc, parent.content_crc());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LineageV1FilesLoadWithZeroParent) {
+  // Down-convert a v2 encoding by hand: version 1, the 4 parent-CRC bytes
+  // removed from the meta block (empty source/note put them at payload
+  // offset 16 -> file offset 48), payload size shrunk and the payload CRC
+  // recomputed. The decoder must accept it and report no parent.
+  const Checkpoint ckpt =
+      Checkpoint::from_network(random_snn({64, 32, 5}, 319));
+  std::vector<std::uint8_t> bytes = ckpt.encode();
+
+  bytes[8] = 1;  // format version (little-endian u32)
+  bytes.erase(bytes.begin() + 48, bytes.begin() + 52);
+  std::uint64_t payload_size = 0;
+  for (int i = 0; i < 8; ++i) {
+    payload_size |= static_cast<std::uint64_t>(bytes[16 + i]) << (8 * i);
+  }
+  payload_size -= 4;
+  for (int i = 0; i < 8; ++i) {
+    bytes[16 + i] = static_cast<std::uint8_t>(payload_size >> (8 * i));
+  }
+  const std::uint32_t crc = crc32(bytes.data() + 32, bytes.size() - 32);
+  for (int i = 0; i < 4; ++i) {
+    bytes[24 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+
+  const Checkpoint back = Checkpoint::decode(bytes);
+  EXPECT_EQ(back.meta.parent_crc, 0u);
+  expect_network_identical(ckpt.network, back.network);
+}
+
+TEST(Checkpoint, CorruptedLineageFieldRejected) {
+  // A bit flip inside the parent-CRC field (file offset 48 with empty
+  // source/note) must fail the payload CRC like any other damage -- a
+  // forged lineage cannot slip through decode.
+  const Checkpoint ckpt = Checkpoint::from_network(
+      random_snn({64, 32, 5}, 320),
+      {.source = "", .note = "", .created_unix = 0, .parent_crc = 0xabcd});
+  std::vector<std::uint8_t> bytes = ckpt.encode();
+  bytes[48] ^= 0x01;
+  EXPECT_THROW((void)Checkpoint::decode(bytes), CheckpointError);
+}
+
+TEST(Checkpoint, MakeCheckpointStampsDeployedParent) {
+  const Checkpoint a = Checkpoint::from_network(random_snn({96, 64, 10}, 321));
+  core::EsamSystem system(a, {});
+  EXPECT_EQ(system.parent_crc(), a.content_crc());
+  EXPECT_EQ(system.make_checkpoint().meta.parent_crc, a.content_crc());
+
+  // Redeploying moves the lineage root; the chain survives a save/load hop.
+  const Checkpoint b = Checkpoint::from_network(random_snn({96, 64, 10}, 322));
+  system.deploy(b);
+  const Checkpoint child = system.make_checkpoint();
+  EXPECT_EQ(child.meta.parent_crc, b.content_crc());
+  const Checkpoint grandchild =
+      core::EsamSystem(Checkpoint::decode(child.encode()), {})
+          .make_checkpoint();
+  EXPECT_EQ(grandchild.meta.parent_crc, child.content_crc());
+}
+
 }  // namespace
 }  // namespace esam::io

@@ -149,8 +149,15 @@ TEST(WtaStdpRule, RewardsTheLargestMarginColumn) {
   run_inference(tile, all_ones(8));
   (void)tile.take_output();
   rule.on_forward(tile.last_input(), tile.last_output());
+  // on_forward only stages; the SRAM is untouched until commit().
+  EXPECT_EQ(rule.pending_count(), 1u);
+  EXPECT_EQ(rule.stats().column_updates, 0u);
+  EXPECT_FALSE(tile.macro(0, 0).peek(7, 0));
+  rule.commit();
+  EXPECT_EQ(rule.pending_count(), 0u);
 
   EXPECT_EQ(rule.stats().column_updates, 1u);
+  EXPECT_EQ(rule.stats().column_rmws, 1u);
   // Column 0 (margin 5) beat column 1 (margin 1): row 7's zero bit in
   // column 0 was potentiated, column 1 still has its two zero rows.
   EXPECT_TRUE(tile.macro(0, 0).peek(7, 0));
@@ -166,13 +173,16 @@ TEST(WtaStdpRule, KWinnersAndNoEventWithoutSpikes) {
   run_inference(tile, BitVec(8));
   (void)tile.take_output();
   rule.on_forward(tile.last_input(), tile.last_output());
+  rule.commit();
   EXPECT_EQ(rule.stats().column_updates, 0u);
 
   // Both fired columns win when k covers them.
   run_inference(tile, all_ones(8));
   (void)tile.take_output();
   rule.on_forward(tile.last_input(), tile.last_output());
+  rule.commit();
   EXPECT_EQ(rule.stats().column_updates, 2u);
+  EXPECT_EQ(rule.stats().column_rmws, 2u);  // two distinct columns
   EXPECT_TRUE(tile.macro(0, 0).peek(7, 0));
   EXPECT_TRUE(tile.macro(0, 0).peek(7, 1));
 }
@@ -207,6 +217,8 @@ TEST(SupervisedTeacherRule, MatchesDirectRewardPunishSequence) {
     const std::size_t label = step % 4;
     const std::size_t winner = (step * 7) % 4;
     rule.on_label(pre, winner, label);
+    // Per-step commit replays the learner's interleaved draw order exactly.
+    rule.commit();
     if (winner != label) {
       learner.reward(label, pre);
       learner.punish(winner, pre);
@@ -225,12 +237,14 @@ TEST(SupervisedTeacherRule, ErrorDrivenSkipsCorrectPredictions) {
   Tile tile = make_fixture_tile(/*output_layer=*/true);
   SupervisedTeacherRule rule(tile, {.p_potentiation = 1.0}, {});
   rule.on_label(all_ones(8), /*winner=*/2, /*label=*/2);
+  rule.commit();
   EXPECT_EQ(rule.stats().column_updates, 0u);
 
   Tile tile2 = make_fixture_tile(/*output_layer=*/true);
   SupervisedTeacherRule reinforce(tile2, {.p_potentiation = 1.0},
                                   {.update_on_correct = true});
   reinforce.on_label(all_ones(8), /*winner=*/2, /*label=*/2);
+  reinforce.commit();
   EXPECT_EQ(reinforce.stats().column_updates, 1u);
 
   EXPECT_THROW(rule.on_label(all_ones(8), 0, 4), std::out_of_range);
