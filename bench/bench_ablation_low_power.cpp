@@ -12,23 +12,24 @@
 using namespace esam;
 
 int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "bench_ablation_low_power [inferences] [--smoke]";
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, kUsage);
+  const std::size_t requested =
+      args.smoke ? 64 : bench::size_positional(args, 0, 400, kUsage);
+
   bench::print_setup_header("Extension: HVT / low-VDD operating point");
 
-  const bool smoke = bench::smoke_mode(argc, argv);
-  const std::size_t inferences =
-      smoke ? 64
-            : (argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 400);
-
-  core::ModelConfig mc = smoke ? bench::smoke_model_config()
-                               : core::ModelConfig{};
+  core::ModelConfig mc =
+      args.smoke ? bench::smoke_model_config() : core::ModelConfig{};
   mc.verbose = true;
   const core::TrainedModel model = core::TrainedModel::create(mc);
-  std::vector<util::BitVec> inputs(model.data.test.spikes.begin(),
-                                   model.data.test.spikes.begin() +
-                                       static_cast<std::ptrdiff_t>(inferences));
-  std::vector<std::uint8_t> labels(model.data.test.labels.begin(),
-                                   model.data.test.labels.begin() +
-                                       static_cast<std::ptrdiff_t>(inferences));
+  const std::size_t inferences =
+      bench::clamp_to_dataset(requested, model.data.test, "inferences");
+  const std::vector<util::BitVec> inputs =
+      bench::take_spikes(model.data.test, inferences);
+  const std::vector<std::uint8_t> labels =
+      bench::take_labels(model.data.test, inferences);
 
   util::Table table("1RW+4R system: nominal vs HVT low-power operating point");
   table.header({"operating point", "VDD [mV]", "clock [MHz]",

@@ -37,30 +37,18 @@ double wall_seconds_of_run(core::EsamSystem& system, std::size_t inferences,
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "bench_fig8_system [inferences] [threads] [--smoke] [--json PATH]";
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, kUsage);
+  const bool smoke = args.smoke;
+  const std::string& json_path = args.json_path;
+
   bench::print_setup_header(
       "Figure 8: system-level comparison of cell options");
 
-  const bool smoke = bench::smoke_mode(argc, argv);
-  std::string json_path;
-  std::vector<const char*> positional;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (arg.rfind("--", 0) != 0) {
-      positional.push_back(argv[i]);
-    }
-  }
   const std::size_t inferences =
-      smoke ? 48
-            : (!positional.empty()
-                   ? static_cast<std::size_t>(std::atoi(positional[0]))
-                   : 500);
-  std::size_t threads =
-      smoke ? 2
-            : (positional.size() > 1
-                   ? static_cast<std::size_t>(std::atoi(positional[1]))
-                   : 1);
+      smoke ? 48 : bench::size_positional(args, 0, 500, kUsage);
+  std::size_t threads = smoke ? 2 : bench::size_positional(args, 1, 1, kUsage);
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }

@@ -36,12 +36,16 @@ Stats summarize(std::vector<double> xs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::print_setup_header("Extension: Monte-Carlo process variation");
-
+  constexpr const char* kUsage = "bench_mc_variation [samples] [--smoke]";
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, kUsage);
   const std::size_t samples =
-      bench::smoke_mode(argc, argv)
-          ? 100
-          : (argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 1000);
+      args.smoke ? 100 : bench::size_positional(args, 0, 1000, kUsage);
+  if (samples == 0) {
+    std::fprintf(stderr, "need at least 1 sample\nusage: %s\n", kUsage);
+    return 2;
+  }
+
+  bench::print_setup_header("Extension: Monte-Carlo process variation");
 
   util::Rng rng(3333);
   std::vector<double> read_ns, trans_rd_ns, trans_wr_ns, leak_uw;

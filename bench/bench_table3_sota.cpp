@@ -10,15 +10,15 @@
 using namespace esam;
 
 int main(int argc, char** argv) {
+  constexpr const char* kUsage = "bench_table3_sota [inferences] [--smoke]";
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, kUsage);
+  const std::size_t inferences =
+      args.smoke ? 64 : bench::size_positional(args, 0, 500, kUsage);
+
   bench::print_setup_header("Table 3: comparison with prior SNN accelerators");
 
-  const bool smoke = bench::smoke_mode(argc, argv);
-  const std::size_t inferences =
-      smoke ? 64
-            : (argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500);
-
-  core::ModelConfig mc = smoke ? bench::smoke_model_config()
-                               : core::ModelConfig{};
+  core::ModelConfig mc =
+      args.smoke ? bench::smoke_model_config() : core::ModelConfig{};
   mc.verbose = true;
   const core::TrainedModel model = core::TrainedModel::create(mc);
   arch::SystemConfig hw;  // 1RW+4R @ 500 mV (the proposed configuration)

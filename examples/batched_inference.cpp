@@ -14,6 +14,7 @@
 #include "esam/nn/bnn.hpp"
 #include "esam/nn/convert.hpp"
 #include "esam/tech/technology.hpp"
+#include "esam/util/parse.hpp"
 #include "esam/util/rng.hpp"
 #include "esam/util/table.hpp"
 
@@ -30,11 +31,25 @@ double wall_seconds(const std::chrono::steady_clock::time_point& start) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 512;
-  std::size_t max_threads =
-      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2]))
-               : std::max(1u, std::thread::hardware_concurrency());
+  // Strict argv parsing (atoll accepted garbage and wrapped negatives);
+  // runs before any simulator construction so bad input fails fast.
+  const auto size_arg = [&](int idx, std::size_t fallback) {
+    if (argc <= idx) return fallback;
+    const auto parsed = util::parse_size(argv[idx]);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "expected a non-negative integer, got '%s'\n"
+                   "usage: batched_inference [inferences] [max_threads]\n",
+                   argv[idx]);
+      std::exit(2);
+    }
+    return *parsed;
+  };
+  const std::size_t n = size_arg(1, 512);
+  std::size_t max_threads = size_arg(2, 0);
+  if (max_threads == 0) {
+    max_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
 
   // Paper-shaped network with random weights: the engine's behaviour does
   // not depend on training, so keep the example fast to start.

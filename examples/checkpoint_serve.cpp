@@ -94,7 +94,8 @@ ServedOutcome serve_all(serve::InferenceServer& server,
                         const std::vector<std::size_t>* reference,
                         bool with_labels, std::size_t n_clients) {
   ServedOutcome out;
-  std::mutex m;
+  // Function-local accumulator lock; capability annotations apply to members.
+  std::mutex m;  // esam-lint: allow(mutex-needs-guard)
   std::vector<std::thread> clients;
   for (std::size_t c = 0; c < n_clients; ++c) {
     clients.emplace_back([&, c] {

@@ -13,12 +13,25 @@
 #include <cstdlib>
 
 #include "esam/core/esam.hpp"
+#include "esam/util/parse.hpp"
 
 using namespace esam;
 
 int main(int argc, char** argv) {
-  const std::size_t n =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500;
+  // Strict parse before any model work: atoi silently wrapped "-1" to
+  // SIZE_MAX here.
+  std::size_t n = 500;
+  if (argc > 1) {
+    const auto parsed = util::parse_size(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "expected a non-negative integer, got '%s'\n"
+                   "usage: mnist_inference [n_inferences]\n",
+                   argv[1]);
+      return 2;
+    }
+    n = *parsed;
+  }
 
   core::ModelConfig mc;
   mc.verbose = true;

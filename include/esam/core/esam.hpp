@@ -172,6 +172,13 @@ class EsamSystem {
   EsamSystem(const TrainedModel& model, arch::SystemConfig hw,
              const tech::TechnologyParams& node);
 
+  /// Deploys a bare trained network -- the train-once/deploy-many path
+  /// (fleet::DeviceFactory stamps N dies from one TrainedModel this way).
+  /// Starts with no evaluation data; call attach_test_data() before
+  /// evaluate()/learn_online(). `snn` and `node` must outlive the system.
+  EsamSystem(const nn::SnnNetwork& snn, arch::SystemConfig hw,
+             const tech::TechnologyParams& node);
+
   /// Deploys a checkpoint into freshly built hardware -- no TrainedModel
   /// needed. The system starts with no evaluation data; call
   /// attach_test_data() before evaluate()/learn_online().

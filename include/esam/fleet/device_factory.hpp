@@ -1,0 +1,127 @@
+// Train once, deploy many: per-die device stamping for fleet simulation.
+//
+// The paper's pitch -- in-field online learning on cheap, variation- and
+// fault-prone 3nm CIM arrays -- only pays off at fleet scale, where every
+// manufactured die lands on its own process corner, carries its own defect
+// map and sees its own input drift. DeviceFactory deploys one trained
+// network onto N such dies: construction does the expensive shared work
+// (the trained SNN, the nominal node) exactly once, and make_device(id)
+// cheaply stamps an independent simulated device whose Monte-Carlo streams
+// are splitmix64-derived from (base seed, stream tag, device id) --
+// decorrelated across devices and across streams, yet fully reproducible.
+#pragma once
+
+#include "esam/arch/system.hpp"
+#include "esam/data/drift.hpp"
+#include "esam/nn/convert.hpp"
+#include "esam/tech/technology.hpp"
+
+#include <cstdint>
+#include <memory>
+
+namespace esam::fleet {
+
+/// Monte-Carlo knobs shared by every die of a fleet.
+struct DeviceModelConfig {
+  /// Per-parameter sigma fraction of the process variation
+  /// (tech::sample_variation's sigma_fraction).
+  double variation_sigma = 0.04;
+  /// Independent per-bitcell stuck-at probability, split evenly between
+  /// stuck-at-0 and stuck-at-1 (sram::sample_fault_map).
+  double defect_rate = 1e-3;
+  /// Fraction of input positions permuted by this die's deployment drift.
+  double drift_fraction = 0.25;
+  /// Fleet base seed; all per-device streams are derived from it.
+  std::uint64_t seed = 2026;
+};
+
+/// Decorrelated per-device seed bundle (see derive_device_seeds).
+struct DeviceSeeds {
+  std::uint64_t variation = 0;  ///< process-corner sampling stream
+  std::uint64_t faults = 0;     ///< stuck-at fault-map sampling stream
+  std::uint64_t drift = 0;      ///< input-drift permutation stream
+  std::uint64_t learning = 0;   ///< base STDP seed (per-tile seeds derive)
+};
+
+/// Derives the four per-device streams as
+/// splitmix64(splitmix64(base ^ tag) ^ device_id): the tag separates the
+/// streams of one die, the outer mix decorrelates neighbouring device ids
+/// (plain base+id would hand adjacent dies overlapping xoshiro states).
+[[nodiscard]] DeviceSeeds derive_device_seeds(std::uint64_t base,
+                                              std::size_t device_id);
+
+/// Per-die timing summary: the varied node's SRAM read path measured
+/// against the Table 2 clock allocation for the configured cell, with the
+/// same 3% jitter margin as bench_mc_variation.
+struct DeviceTiming {
+  double read_path_ns = 0.0;     ///< inference read path on this die
+  double neuron_ns = 0.0;        ///< calibrated neuron-stage share
+  double stage_budget_ns = 0.0;  ///< Table 2 stage x clock_derate x 1.03
+  bool fits = false;             ///< read_path + neuron <= budget
+};
+
+/// One simulated die: its own varied technology node (owned here because
+/// the simulator keeps a pointer into it), fault-injected tile pipeline and
+/// drift trajectory. Immovable on purpose -- the node and the simulator's
+/// internal references must keep stable addresses -- so devices travel as
+/// std::unique_ptr<FleetDevice>.
+class FleetDevice {
+ public:
+  FleetDevice(std::size_t id, const DeviceSeeds& seeds,
+              const tech::TechnologyParams& nominal,
+              const nn::SnnNetwork& snn, const arch::SystemConfig& hw,
+              const DeviceModelConfig& cfg);
+  FleetDevice(const FleetDevice&) = delete;
+  FleetDevice& operator=(const FleetDevice&) = delete;
+
+  [[nodiscard]] std::size_t id() const { return id_; }
+  [[nodiscard]] const DeviceSeeds& seeds() const { return seeds_; }
+  [[nodiscard]] const tech::VariationSample& variation() const {
+    return variation_;
+  }
+  [[nodiscard]] const tech::TechnologyParams& node() const { return node_; }
+  [[nodiscard]] const DeviceTiming& timing() const { return timing_; }
+  /// Stuck-at cells injected across every macro of this die.
+  [[nodiscard]] std::size_t fault_cells() const { return fault_cells_; }
+  [[nodiscard]] const data::DriftGenerator& drift() const { return drift_; }
+  [[nodiscard]] arch::SystemSimulator& simulator() { return sim_; }
+  [[nodiscard]] const arch::SystemSimulator& simulator() const { return sim_; }
+
+ private:
+  std::size_t id_;
+  DeviceSeeds seeds_;
+  tech::VariationSample variation_;
+  tech::TechnologyParams node_;
+  arch::SystemSimulator sim_;
+  data::DriftGenerator drift_;
+  DeviceTiming timing_{};
+  std::size_t fault_cells_ = 0;
+};
+
+/// Stamps out independent dies from one trained network. make_device is
+/// const and touches no factory state beyond reads, so a worker pool may
+/// build devices concurrently; the result depends only on (config, id).
+class DeviceFactory {
+ public:
+  /// `snn` and `nominal` must outlive the factory and every device.
+  DeviceFactory(const nn::SnnNetwork& snn,
+                const tech::TechnologyParams& nominal, arch::SystemConfig hw,
+                DeviceModelConfig cfg);
+
+  [[nodiscard]] std::unique_ptr<FleetDevice> make_device(
+      std::size_t device_id) const;
+
+  [[nodiscard]] const arch::SystemConfig& hw() const { return hw_; }
+  [[nodiscard]] const DeviceModelConfig& config() const { return cfg_; }
+  [[nodiscard]] const tech::TechnologyParams& nominal() const {
+    return *nominal_;
+  }
+
+ private:
+  const nn::SnnNetwork* snn_;
+  const tech::TechnologyParams* nominal_;
+  arch::SystemConfig hw_;
+  DeviceModelConfig cfg_;
+};
+
+}  // namespace esam::fleet

@@ -76,7 +76,11 @@ class BnnNetwork {
                                 const std::vector<std::uint8_t>& ys) const;
 
   /// Binary serialization (latent weights + biases) for caching trained
-  /// models between bench runs. Returns false on I/O failure.
+  /// models between bench runs. save() writes to a temp file and renames it
+  /// into place (atomic on POSIX: concurrent readers never see a torn
+  /// cache) and stamps a CRC-32 over the payload; load() rejects any file
+  /// whose checksum or framing does not hold -- including pre-CRC v1
+  /// caches -- so callers simply retrain on false.
   bool save(const std::string& path) const;
   static bool load(const std::string& path, BnnNetwork& out);
 

@@ -1,0 +1,35 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+//
+// One shared implementation for every on-disk payload check: the checkpoint
+// container (io/checkpoint.hpp), the trained-BNN model cache (nn/bnn.hpp)
+// and the tests all validate bytes against the same table so a corruption
+// test written against one format exercises the same code path as the rest.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace esam::util {
+
+[[nodiscard]] inline std::uint32_t crc32(const std::uint8_t* data,
+                                         std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace esam::util

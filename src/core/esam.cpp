@@ -56,8 +56,13 @@ EsamSystem::EsamSystem(const TrainedModel& model, arch::SystemConfig hw)
 
 EsamSystem::EsamSystem(const TrainedModel& model, arch::SystemConfig hw,
                        const tech::TechnologyParams& node)
-    : deployed_(model.snn), test_(&model.data.test),
-      sim_(node, deployed_, hw) {}
+    : EsamSystem(model.snn, hw, node) {
+  test_ = &model.data.test;
+}
+
+EsamSystem::EsamSystem(const nn::SnnNetwork& snn, arch::SystemConfig hw,
+                       const tech::TechnologyParams& node)
+    : deployed_(snn), sim_(node, deployed_, hw) {}
 
 EsamSystem::EsamSystem(const io::Checkpoint& ckpt, arch::SystemConfig hw)
     : EsamSystem(ckpt, hw, tech::imec3nm()) {}

@@ -1,0 +1,106 @@
+#include "esam/fleet/device_factory.hpp"
+
+#include "esam/sram/faults.hpp"
+#include "esam/sram/timing.hpp"
+#include "esam/tech/calibration.hpp"
+#include "esam/util/units.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace esam::fleet {
+
+namespace {
+
+/// Stream tags: arbitrary odd constants xor-mixed into the base seed so the
+/// four per-device streams never collide even for adjacent device ids.
+constexpr std::uint64_t kVariationTag = 0x56415249'4154494FULL;
+constexpr std::uint64_t kFaultTag = 0x4641554C'54530a0dULL;
+constexpr std::uint64_t kDriftTag = 0x44524946'54f00d01ULL;
+constexpr std::uint64_t kLearnTag = 0x4C454152'4e101010ULL;
+
+[[nodiscard]] std::uint64_t derive(std::uint64_t base, std::uint64_t tag,
+                                   std::size_t device_id) {
+  return util::splitmix64_mix(util::splitmix64_mix(base ^ tag) ^
+                              static_cast<std::uint64_t>(device_id));
+}
+
+[[nodiscard]] tech::VariationSample sample_corner(std::uint64_t seed,
+                                                  double sigma) {
+  util::Rng rng(seed);
+  return tech::sample_variation(rng, sigma);
+}
+
+}  // namespace
+
+DeviceSeeds derive_device_seeds(std::uint64_t base, std::size_t device_id) {
+  return {derive(base, kVariationTag, device_id),
+          derive(base, kFaultTag, device_id),
+          derive(base, kDriftTag, device_id),
+          derive(base, kLearnTag, device_id)};
+}
+
+FleetDevice::FleetDevice(std::size_t id, const DeviceSeeds& seeds,
+                         const tech::TechnologyParams& nominal,
+                         const nn::SnnNetwork& snn,
+                         const arch::SystemConfig& hw,
+                         const DeviceModelConfig& cfg)
+    : id_(id),
+      seeds_(seeds),
+      variation_(sample_corner(seeds.variation, cfg.variation_sigma)),
+      node_(tech::apply_variation(nominal, variation_)),
+      sim_(node_, snn, hw),
+      drift_(snn.layers().front().in_features(), cfg.drift_fraction,
+             seeds.drift) {
+  // Manufacturing defects: an independent stuck-at map per macro, all drawn
+  // from this die's fault stream (the bench_fault_injection idiom).
+  util::Rng fault_rng(seeds.faults);
+  for (std::size_t t = 0; t < sim_.tile_count(); ++t) {
+    arch::Tile& tile = sim_.tile(t);
+    for (std::size_t rg = 0; rg < tile.row_groups(); ++rg) {
+      for (std::size_t cg = 0; cg < tile.col_groups(); ++cg) {
+        auto& macro = tile.macro(rg, cg);
+        macro.apply_faults(sram::sample_fault_map(macro.geometry().rows,
+                                                  macro.geometry().cols,
+                                                  cfg.defect_rate, fault_rng));
+        fault_cells_ += macro.fault_count();
+      }
+    }
+  }
+
+  // Timing yield on this corner: read path + neuron stage against the
+  // Table 2 clock allocation, 3% jitter margin (bench_mc_variation's rule),
+  // stretched by any configured clock derate.
+  const std::size_t idx = sram::index_of(hw.cell);
+  const sram::SramTimingModel m(
+      node_, sram::BitcellSpec::of(hw.cell),
+      {hw.max_array_dim, hw.max_array_dim, hw.col_mux}, hw.vprech);
+  timing_.read_path_ns = util::in_nanoseconds(m.inference_read_time());
+  timing_.neuron_ns = tech::calib::kNeuronStageNs[idx];
+  timing_.stage_budget_ns =
+      tech::calib::kTable2SramNeuronNs[idx] * hw.clock_derate * 1.03;
+  timing_.fits =
+      timing_.read_path_ns + timing_.neuron_ns <= timing_.stage_budget_ns;
+}
+
+DeviceFactory::DeviceFactory(const nn::SnnNetwork& snn,
+                             const tech::TechnologyParams& nominal,
+                             arch::SystemConfig hw, DeviceModelConfig cfg)
+    : snn_(&snn), nominal_(&nominal), hw_(hw), cfg_(cfg) {
+  if (snn.layers().empty()) {
+    throw std::invalid_argument("DeviceFactory: empty network");
+  }
+  if (cfg.defect_rate < 0.0 || cfg.defect_rate > 1.0) {
+    throw std::invalid_argument("DeviceFactory: defect_rate outside [0, 1]");
+  }
+}
+
+std::unique_ptr<FleetDevice> DeviceFactory::make_device(
+    std::size_t device_id) const {
+  return std::make_unique<FleetDevice>(device_id,
+                                       derive_device_seeds(cfg_.seed,
+                                                           device_id),
+                                       *nominal_, *snn_, hw_, cfg_);
+}
+
+}  // namespace esam::fleet

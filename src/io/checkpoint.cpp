@@ -1,5 +1,7 @@
 #include "esam/io/checkpoint.hpp"
 
+#include "esam/util/crc32.hpp"
+
 #include <array>
 #include <bit>
 #include <cstring>
@@ -70,22 +72,9 @@ struct Reader {
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
+  // Shared table-based implementation; the BNN model cache validates its
+  // payload with the same polynomial (see util/crc32.hpp).
+  return util::crc32(data, size);
 }
 
 Checkpoint Checkpoint::from_network(nn::SnnNetwork net, CheckpointMeta meta) {

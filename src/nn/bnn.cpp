@@ -1,9 +1,14 @@
 #include "esam/nn/bnn.hpp"
 
+#include "esam/util/crc32.hpp"
+
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -134,50 +139,113 @@ double BnnNetwork::accuracy(const std::vector<std::vector<float>>& xs,
   return static_cast<double>(correct) / static_cast<double>(xs.size());
 }
 
+namespace {
+// Model-cache container v2: {magic u64, payload_size u64, crc32 u32,
+// reserved u32} followed by the payload {n_layers u64, per layer out/in u64
+// pairs + latent + bias floats}. v1 had no checksum, so a torn write by a
+// concurrent process passed the shape-only validation; v2 caches carry a
+// CRC-32 over the whole payload and v1 files are rejected (one retrain
+// rewrites them).
+constexpr std::uint64_t kCacheMagicV2 = 0x45534d42'4e4e0002ULL;  // "ESMBNN" v2
+// A damaged size field must not drive a huge allocation before the CRC runs.
+constexpr std::uint64_t kMaxCachePayload = 1ULL << 32;
+}  // namespace
+
 bool BnnNetwork::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return false;
-  const std::uint64_t magic = 0x45534d42'4e4e0001ULL;  // "ESMBNN" v1
+  // Serialize into one buffer so the CRC covers everything after the header.
+  std::vector<std::uint8_t> payload;
+  const auto append = [&payload](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    payload.insert(payload.end(), b, b + n);
+  };
   const std::uint64_t n_layers = layers_.size();
-  f.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  f.write(reinterpret_cast<const char*>(&n_layers), sizeof n_layers);
+  append(&n_layers, sizeof n_layers);
   for (const auto& l : layers_) {
     const std::uint64_t out = l.out_features();
     const std::uint64_t in = l.in_features();
-    f.write(reinterpret_cast<const char*>(&out), sizeof out);
-    f.write(reinterpret_cast<const char*>(&in), sizeof in);
-    f.write(reinterpret_cast<const char*>(l.latent.flat().data()),
-            static_cast<std::streamsize>(l.latent.size() * sizeof(float)));
-    f.write(reinterpret_cast<const char*>(l.bias.data()),
-            static_cast<std::streamsize>(l.bias.size() * sizeof(float)));
+    append(&out, sizeof out);
+    append(&in, sizeof in);
+    append(l.latent.flat().data(), l.latent.size() * sizeof(float));
+    append(l.bias.data(), l.bias.size() * sizeof(float));
   }
-  return f.good();
+
+  // Write to a pid-unique sibling temp file and rename into place: rename
+  // within one directory is atomic on POSIX, so concurrent readers (parallel
+  // ctest smoke targets sharing the default cache path) observe either the
+  // previous complete cache or the new one, never a torn mix.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    const std::uint64_t payload_size = payload.size();
+    const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+    const std::uint32_t reserved = 0;
+    f.write(reinterpret_cast<const char*>(&kCacheMagicV2),
+            sizeof kCacheMagicV2);
+    f.write(reinterpret_cast<const char*>(&payload_size), sizeof payload_size);
+    f.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    f.write(reinterpret_cast<const char*>(&reserved), sizeof reserved);
+    f.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+    f.close();
+    if (!f) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool BnnNetwork::load(const std::string& path, BnnNetwork& out) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return false;
-  std::uint64_t magic = 0, n_layers = 0;
+  std::uint64_t magic = 0, payload_size = 0;
+  std::uint32_t crc = 0, reserved = 0;
   f.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  f.read(reinterpret_cast<char*>(&n_layers), sizeof n_layers);
-  if (!f || magic != 0x45534d42'4e4e0001ULL || n_layers > 64) return false;
+  f.read(reinterpret_cast<char*>(&payload_size), sizeof payload_size);
+  f.read(reinterpret_cast<char*>(&crc), sizeof crc);
+  f.read(reinterpret_cast<char*>(&reserved), sizeof reserved);
+  if (!f || magic != kCacheMagicV2 || payload_size < sizeof(std::uint64_t) ||
+      payload_size > kMaxCachePayload) {
+    return false;
+  }
+  std::vector<std::uint8_t> payload(payload_size);
+  f.read(reinterpret_cast<char*>(payload.data()),
+         static_cast<std::streamsize>(payload.size()));
+  if (!f || util::crc32(payload.data(), payload.size()) != crc) return false;
+
+  // The CRC passed, so the payload is exactly what save() wrote; the bounds
+  // checks below only guard against a cache written by a future format.
+  std::size_t pos = 0;
+  const auto take = [&payload, &pos](void* dst, std::size_t n) {
+    if (n > payload.size() - pos) return false;
+    std::memcpy(dst, payload.data() + pos, n);
+    pos += n;
+    return true;
+  };
+  std::uint64_t n_layers = 0;
+  if (!take(&n_layers, sizeof n_layers) || n_layers == 0 || n_layers > 64) {
+    return false;
+  }
   BnnNetwork net;
   net.layers_.resize(n_layers);
   for (auto& l : net.layers_) {
     std::uint64_t o = 0, i = 0;
-    f.read(reinterpret_cast<char*>(&o), sizeof o);
-    f.read(reinterpret_cast<char*>(&i), sizeof i);
-    if (!f || o == 0 || i == 0 || o > (1u << 20) || i > (1u << 20)) {
-      return false;
-    }
+    if (!take(&o, sizeof o) || !take(&i, sizeof i)) return false;
+    if (o == 0 || i == 0 || o > (1u << 20) || i > (1u << 20)) return false;
     l.latent = Matrix(o, i);
     l.bias.assign(o, 0.0f);
-    f.read(reinterpret_cast<char*>(l.latent.flat().data()),
-           static_cast<std::streamsize>(l.latent.size() * sizeof(float)));
-    f.read(reinterpret_cast<char*>(l.bias.data()),
-           static_cast<std::streamsize>(l.bias.size() * sizeof(float)));
-    if (!f) return false;
+    if (!take(l.latent.flat().data(), l.latent.size() * sizeof(float)) ||
+        !take(l.bias.data(), l.bias.size() * sizeof(float))) {
+      return false;
+    }
   }
+  if (pos != payload.size()) return false;
   out = std::move(net);
   return true;
 }

@@ -16,6 +16,7 @@
 //   esam checkpoint save|load|info F  persist / redeploy / inspect weights
 //   esam checkpoint diff A B          per-layer weight diff + lineage check
 //   esam serve [options]              in-process inference-server demo
+//   esam fleet [options]              fleet-scale multi-device simulation
 //   esam help [verb]                  generated usage
 #include <atomic>
 #include <cstdio>
@@ -29,6 +30,7 @@
 
 #include "esam/arch/trace.hpp"
 #include "esam/core/esam.hpp"
+#include "esam/fleet/fleet.hpp"
 #include "esam/io/checkpoint.hpp"
 #include "esam/learning/online_learner.hpp"
 #include "esam/serve/server.hpp"
@@ -72,6 +74,10 @@ enum class OptId {
   kAdaptBatch,
   kSimd,
   kEngine,
+  kDevices,
+  kDefectRate,
+  kSigma,
+  kSeed,
 };
 
 struct OptionDef {
@@ -142,6 +148,15 @@ const OptionDef kOptionTable[] = {
     {OptId::kEngine, "--engine", "NAME",
      "batch execution engine: pipe | seq (default pipe; modelled results "
      "are bit-identical, seq is the slow lockstep reference)"},
+    {OptId::kDevices, "--devices", "N",
+     "simulated dies in the fleet (default 16)"},
+    {OptId::kDefectRate, "--defect-rate", "F",
+     "per-bitcell stuck-at probability per die, in [0, 1] (default 1e-3)"},
+    {OptId::kSigma, "--sigma", "F",
+     "process-variation sigma fraction per die, in [0, 1] (default 0.04)"},
+    {OptId::kSeed, "--seed", "N",
+     "fleet base seed; per-die streams are splitmix64-derived from it "
+     "(default 2026)"},
 };
 
 const OptionDef* find_option(const std::string& flag) {
@@ -177,6 +192,10 @@ struct CliOptions {
   bool adapt = false;
   std::size_t adapt_batch = 32;
   arch::ExecutionEngine engine = arch::ExecutionEngine::kPipelined;
+  std::size_t devices = 16;
+  double defect_rate = 1e-3;
+  double sigma = 0.04;
+  std::size_t seed = 2026;
 
   /// True when any batched-engine option was given.
   [[nodiscard]] bool batched() const { return threads != 1 || batch != 0; }
@@ -220,6 +239,7 @@ int cmd_sweep_vprech(const CliOptions&, const std::vector<std::string>&);
 int cmd_learn(const CliOptions&, const std::vector<std::string>&);
 int cmd_checkpoint(const CliOptions&, const std::vector<std::string>&);
 int cmd_serve(const CliOptions&, const std::vector<std::string>&);
+int cmd_fleet(const CliOptions&, const std::vector<std::string>&);
 int cmd_help(const CliOptions&, const std::vector<std::string>&);
 
 const VerbDef kVerbs[] = {
@@ -289,6 +309,26 @@ const VerbDef kVerbs[] = {
       OptId::kMaxBatch, OptId::kMaxDelayUs, OptId::kAdapt, OptId::kAdaptBatch,
       OptId::kUpdateInterval, OptId::kHiddenRule, OptId::kWtaK, OptId::kSimd},
      cmd_serve},
+    {"fleet", "", "fleet-scale multi-device simulation",
+     "Trains (or loads the cached) model once and deploys it onto --devices\n"
+     "simulated dies. Each die draws its own splitmix64-derived Monte-Carlo\n"
+     "streams from --seed: a process-variation corner (--sigma), a stuck-at\n"
+     "fault map (--defect-rate) and an input-drift trajectory (--drift).\n"
+     "Every die runs its shard of the test stream (--inferences samples,\n"
+     "wrapping around the shared stream), then adapts in the field through\n"
+     "the per-tile rule engine (--epochs rounds, --update-interval commit\n"
+     "window). The fleet report aggregates\n"
+     "timing yield, functional yield and accuracy/energy distributions\n"
+     "(min/p50/p99.7) across dies. --workers fans device simulation out\n"
+     "over a host worker pool; reports are bit-identical for any worker\n"
+     "count.",
+     0, 0,
+     {OptId::kDevices, OptId::kWorkers, OptId::kInferences, OptId::kCell,
+      OptId::kVprech, OptId::kLowPower, OptId::kEpochs,
+      OptId::kUpdateInterval, OptId::kDrift, OptId::kDefectRate,
+      OptId::kSigma, OptId::kSeed, OptId::kHiddenRule, OptId::kWtaK,
+      OptId::kSimd},
+     cmd_fleet},
     {"help", "[verb]", "this overview, or one verb's options",
      "Prints the verb table, or the usage, description and accepted options\n"
      "of a single verb. All of it is generated from the same registry the\n"
@@ -557,6 +597,22 @@ std::optional<ParsedArgs> parse_args(const VerbDef& verb, int argc,
         }
         break;
       }
+      case OptId::kDevices:
+        if (!need_size(opt.devices)) return std::nullopt;
+        if (opt.devices == 0) {
+          std::fprintf(stderr, "esam: --devices must be >= 1\n");
+          return std::nullopt;
+        }
+        break;
+      case OptId::kDefectRate:
+        if (!need_double(opt.defect_rate, 0.0, 1.0)) return std::nullopt;
+        break;
+      case OptId::kSigma:
+        if (!need_double(opt.sigma, 0.0, 1.0)) return std::nullopt;
+        break;
+      case OptId::kSeed:
+        if (!need_size(opt.seed)) return std::nullopt;
+        break;
     }
   }
   if (out.positionals.size() < verb.min_positionals ||
@@ -1100,6 +1156,37 @@ int cmd_serve(const CliOptions& opt, const std::vector<std::string>&) {
   per_client.print();
 
   if (!opt.adapt && mismatches != 0) return 1;
+  return 0;
+}
+
+int cmd_fleet(const CliOptions& opt, const std::vector<std::string>&) {
+  const core::TrainedModel model = load_model();
+
+  fleet::FleetConfig fc;
+  fc.devices = opt.devices;
+  fc.workers = opt.workers;
+  fc.shard_inferences = opt.inferences;
+  fc.adapt_epochs = opt.epochs;
+  fc.update_interval = opt.update_interval;
+  fc.accuracy_floor = 0.5;
+  fc.device.variation_sigma = opt.sigma;
+  fc.device.defect_rate = opt.defect_rate;
+  fc.device.drift_fraction = opt.drift;
+  fc.device.seed = opt.seed;
+  fc.hw = hw_of(opt);
+  fc.trainer.hidden_rule = opt.hidden_rule;
+  fc.trainer.wta_k = opt.wta_k;
+
+  const fleet::FleetSimulator fsim(model.snn, model.data.test, node_of(opt),
+                                   fc);
+  const std::size_t shard =
+      fc.shard_inferences == 0 || fc.shard_inferences > model.data.test.size()
+          ? model.data.test.size()
+          : fc.shard_inferences;
+  std::printf("\nsimulating %zu dies (%zu-sample shards, %zu adaptation "
+              "epoch(s), %zu worker(s))...\n\n",
+              fc.devices, shard, fc.adapt_epochs, fc.workers);
+  fsim.run().print();
   return 0;
 }
 

@@ -19,6 +19,11 @@
 //                                outside src/tools: the library must not
 //                                pollute the CLI's stdout. Report through
 //                                return values, callbacks, or stderr.
+//   no-atoi            all       atoi/atol/atoll/atof are banned (they
+//                                accept garbage and wrap negatives to huge
+//                                unsigned values); parse through
+//                                util::parse_size / util::parse_double.
+//                                util/parse.hpp itself is exempt.
 //   no-naked-new       all       naked new/delete are banned; use
 //                                containers and smart pointers (`= delete`
 //                                declarations are fine).
@@ -29,7 +34,9 @@
 //                                checks something for that lock.
 //
 // "library" means src/ (minus src/tools/) and include/; "all" adds
-// src/tools/. Tests, benches and examples are not scanned.
+// src/tools/, bench/ and examples/ (both scanned at tool scope -- they may
+// print, but must stay deterministic and parse their inputs strictly).
+// Tests are not scanned.
 //
 // A finding on a deliberately-fine line is suppressed with a trailing
 //   // esam-lint: allow(<rule>)
@@ -227,6 +234,25 @@ void rule_no_stdout(const SourceFile& f, std::vector<Finding>& out) {
       "stdout output from library code; return data or log to stderr");
 }
 
+void rule_no_atoi(const SourceFile& f, std::vector<Finding>& out) {
+  // util/parse.hpp is the one sanctioned numeric-parsing site: its strict
+  // from_chars/strtod wrappers are exactly what this rule points people at.
+  const std::string exempt = "util/parse.hpp";
+  if (f.display_path.size() >= exempt.size() &&
+      f.display_path.compare(f.display_path.size() - exempt.size(),
+                             exempt.size(), exempt) == 0) {
+    return;
+  }
+  check_line_rule(
+      f, out, "no-atoi", /*library_only=*/false,
+      [](const std::string& s) {
+        return has_call(s, "atoi") || has_call(s, "atol") ||
+               has_call(s, "atoll") || has_call(s, "atof");
+      },
+      "raw numeric parse (accepts garbage, wraps negatives to huge "
+      "values); use util::parse_size / util::parse_double");
+}
+
 void rule_no_naked_new(const SourceFile& f, std::vector<Finding>& out) {
   check_line_rule(
       f, out, "no-naked-new", /*library_only=*/false,
@@ -280,6 +306,7 @@ constexpr RuleFn kRules[] = {
     rule_no_wall_clock,
     rule_no_unseeded_rng,
     rule_no_stdout,
+    rule_no_atoi,
     rule_no_naked_new,
     rule_mutex_needs_guard,
 };
@@ -325,7 +352,14 @@ int scan_tree(const fs::path& root) {
 
   std::vector<Finding> findings;
   std::size_t files = 0;
-  for (const fs::path& top : {src, include}) {
+  // bench/ and examples/ are scanned at tool scope: user-facing binaries
+  // may print to stdout, but the determinism and input-parsing rules still
+  // apply to them (the no-atoi sweep found its bugs exactly there).
+  std::vector<fs::path> tops = {src, include};
+  for (const char* extra : {"bench", "examples"}) {
+    if (fs::is_directory(root / extra)) tops.push_back(root / extra);
+  }
+  for (const fs::path& top : tops) {
     std::vector<fs::path> paths;
     for (const auto& entry : fs::recursive_directory_iterator(top)) {
       if (entry.is_regular_file() && scanned_extension(entry.path())) {
@@ -337,8 +371,9 @@ int scan_tree(const fs::path& root) {
       const bool in_tools =
           std::mismatch(tools.begin(), tools.end(), p.begin(), p.end())
               .first == tools.end();
+      const bool library = (top == src || top == include) && !in_tools;
       const SourceFile f =
-          load_file(p, in_tools ? Scope::kTool : Scope::kLibrary,
+          load_file(p, library ? Scope::kLibrary : Scope::kTool,
                     fs::relative(p, root).string());
       ++files;
       const std::vector<Finding> file_findings = run_rules(f);

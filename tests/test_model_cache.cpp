@@ -1,0 +1,120 @@
+// Tests for the CRC-validated BNN model cache: a save/load round trip must
+// reproduce the network exactly, any damaged byte must fail the checksum
+// (shape-only validation used to accept torn writes), and TrainedModel must
+// silently retrain -- and rewrite a valid cache -- when the cache file is
+// corrupt.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "esam/core/esam.hpp"
+#include "esam/nn/bnn.hpp"
+#include "esam/util/rng.hpp"
+
+namespace esam::nn {
+namespace {
+
+BnnNetwork random_net(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return BnnNetwork({12, 8, 4}, rng);
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ModelCache, RoundTripReproducesNetworkExactly) {
+  const std::string path = "test_model_cache_roundtrip.bin";
+  const BnnNetwork net = random_net(5);
+  ASSERT_TRUE(net.save(path));
+
+  BnnNetwork loaded;
+  ASSERT_TRUE(BnnNetwork::load(path, loaded));
+  ASSERT_EQ(loaded.shape(), net.shape());
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    EXPECT_EQ(loaded.layers()[l].latent.flat(), net.layers()[l].latent.flat());
+    EXPECT_EQ(loaded.layers()[l].bias, net.layers()[l].bias);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelCache, AtomicWriteLeavesNoTempFile) {
+  const std::string path = "test_model_cache_atomic.bin";
+  ASSERT_TRUE(random_net(6).save(path));
+  // The temp file must have been renamed away; only the final cache exists.
+  const std::string tmp_prefix = path + ".tmp.";
+  std::ifstream probe(tmp_prefix + "0");
+  EXPECT_FALSE(probe.good());
+  BnnNetwork loaded;
+  EXPECT_TRUE(BnnNetwork::load(path, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(ModelCache, CorruptPayloadFailsTheChecksum) {
+  const std::string path = "test_model_cache_corrupt.bin";
+  ASSERT_TRUE(random_net(7).save(path));
+
+  std::vector<char> bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() - 9] ^= 0x20;  // flip one payload bit
+  write_file(path, bytes);
+
+  BnnNetwork loaded;
+  EXPECT_FALSE(BnnNetwork::load(path, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(ModelCache, StaleV1MagicIsRejected) {
+  const std::string path = "test_model_cache_v1.bin";
+  ASSERT_TRUE(random_net(8).save(path));
+
+  std::vector<char> bytes = read_file(path);
+  bytes[0] = 0x01;  // regress the version byte of the little-endian magic
+  write_file(path, bytes);
+
+  BnnNetwork loaded;
+  EXPECT_FALSE(BnnNetwork::load(path, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(ModelCache, TrainedModelRetrainsOnCorruptCache) {
+  const std::string path = "test_model_cache_retrain.bin";
+  core::ModelConfig mc;
+  mc.shape = {768, 16, 10};
+  mc.n_train = 60;
+  mc.n_test = 20;
+  mc.train.epochs = 1;
+  mc.cache_path = path;
+
+  const core::TrainedModel first = core::TrainedModel::create(mc);
+
+  std::vector<char> bytes = read_file(path);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x7F;
+  write_file(path, bytes);
+
+  // The damaged cache must not be deployed: create() retrains (training is
+  // deterministic, so the weights match the first run) and rewrites a cache
+  // that validates again.
+  const core::TrainedModel second = core::TrainedModel::create(mc);
+  ASSERT_EQ(second.bnn.shape(), first.bnn.shape());
+  for (std::size_t l = 0; l < first.bnn.layers().size(); ++l) {
+    EXPECT_EQ(second.bnn.layers()[l].latent.flat(),
+              first.bnn.layers()[l].latent.flat());
+  }
+  BnnNetwork reloaded;
+  EXPECT_TRUE(BnnNetwork::load(path, reloaded));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace esam::nn
